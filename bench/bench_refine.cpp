@@ -1,0 +1,108 @@
+// Stage-3 cost study (paper Section V-B): how the incremental-subset
+// localization scales with specification size and with the position of the
+// inconsistency. The paper's strategy grows a consistent subset one
+// requirement at a time, so a conflict near the end of the document costs
+// proportionally more realizability checks -- measured here.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "corpus/generator.hpp"
+#include "core/pipeline.hpp"
+#include "refine/refine.hpp"
+#include "translate/translator.hpp"
+
+namespace {
+
+using speccc::translate::RequirementText;
+
+/// A realizable base spec with a two-requirement conflict inserted such that
+/// the later conflict partner sits at `position` (0-based).
+std::vector<RequirementText> spec_with_conflict(int formulas, int position) {
+  speccc::corpus::SpecScale scale{"base", formulas, formulas / 2 + 1,
+                                  (2 * formulas) / 3 + 1,
+                                  /*seed=*/7, /*response=*/10, /*timed=*/0};
+  auto texts =
+      speccc::corpus::generate_spec(scale, speccc::corpus::device_theme());
+  // The conflicting pair: both triggered by the same input, forcing an
+  // output both ways.
+  texts.insert(texts.begin(),
+               {"conf-a", "If the fault signal is detected, the master alarm "
+                          "is triggered."});
+  const int at = std::min<int>(position, static_cast<int>(texts.size()));
+  texts.insert(texts.begin() + at,
+               {"conf-b", "If the fault signal is detected, the master alarm "
+                          "is not triggered."});
+  return texts;
+}
+
+void BM_LocalizationByPosition(benchmark::State& state) {
+  const auto texts = spec_with_conflict(24, static_cast<int>(state.range(0)));
+  speccc::core::PipelineOptions options;
+  speccc::core::Pipeline pipeline(options);
+  std::size_t checks = 0;
+  for (auto _ : state) {
+    auto result = pipeline.run("conflicted", texts);
+    benchmark::DoNotOptimize(result.consistent);
+    if (result.refinement.has_value()) checks = result.refinement->checks;
+  }
+  state.counters["realizability_checks"] = static_cast<double>(checks);
+}
+BENCHMARK(BM_LocalizationByPosition)
+    ->DenseRange(2, 26, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LocalizationBySpecSize(benchmark::State& state) {
+  const int formulas = static_cast<int>(state.range(0));
+  const auto texts = spec_with_conflict(formulas, formulas);  // conflict last
+  speccc::core::Pipeline pipeline;
+  for (auto _ : state) {
+    auto result = pipeline.run("conflicted", texts);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetComplexityN(formulas);
+}
+BENCHMARK(BM_LocalizationBySpecSize)
+    ->RangeMultiplier(2)
+    ->Range(8, 32)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void print_summary() {
+  std::cout << "\nSection V-B localization study\n";
+  for (int position : {2, 10, 18, 26}) {
+    const auto texts = spec_with_conflict(24, position);
+    speccc::core::Pipeline pipeline;
+    const auto result = pipeline.run("conflicted", texts);
+    std::cout << "  conflict at requirement " << position << ": core {";
+    if (result.refinement.has_value()) {
+      for (std::size_t i : result.refinement->localization.core) {
+        std::cout << " " << result.translation.requirements[i].id;
+      }
+      std::cout << " }, " << result.refinement->checks
+                << " realizability checks";
+    }
+    if (result.refinement.has_value() &&
+        result.refinement->adjustment.has_value()) {
+      std::cout << ", repartitioned '"
+                << result.refinement->adjustment->variable << "'";
+    }
+    std::cout << ", verdict "
+              << (result.consistent ? "consistent" : "INCONSISTENT") << "\n";
+  }
+  std::cout << "  (the checks grow linearly with the conflict position -- the "
+               "incremental\n   subset growth of Section V-B. Note the "
+               "heuristic repair: reclassifying\n   the shared trigger as an "
+               "output makes both obligations vacuous, so the\n   report must "
+               "always be reviewed against the core it prints.)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Section VI's observation: "The performance of G4LTL are sensitive to the
+// number of subformulas, the number of input and output variables, and the
+// length of a formula." This harness sweeps each axis independently on
+// generated specifications and reports the scaling of our engine.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "corpus/generator.hpp"
+#include "ltl/parser.hpp"
+#include "synth/bounded.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace {
+
+using speccc::corpus::SpecScale;
+
+// Axis 1: number of formulas (I/O fixed).
+void BM_FormulaCount(benchmark::State& state) {
+  const int formulas = static_cast<int>(state.range(0));
+  SpecScale scale{"axis1", formulas, 8, 10, 42, 20, 10};
+  const auto texts =
+      speccc::corpus::generate_spec(scale, speccc::corpus::device_theme());
+  speccc::core::Pipeline pipeline;
+  for (auto _ : state) {
+    auto result = pipeline.run("axis1", texts);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetComplexityN(formulas);
+}
+BENCHMARK(BM_FormulaCount)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+// Axis 2: number of I/O variables (formula count fixed).
+void BM_IoVariables(benchmark::State& state) {
+  const int vars = static_cast<int>(state.range(0));
+  SpecScale scale{"axis2", 2 * vars, vars, vars, 43, 20, 10};
+  const auto texts =
+      speccc::corpus::generate_spec(scale, speccc::corpus::device_theme());
+  speccc::core::Pipeline pipeline;
+  for (auto _ : state) {
+    auto result = pipeline.run("axis2", texts);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetComplexityN(vars);
+}
+BENCHMARK(BM_IoVariables)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+// Axis 3: formula length via the Next-chain depth of a single timed
+// requirement (the bounded engine's counting construction).
+void BM_FormulaLength(benchmark::State& state) {
+  const auto delay = static_cast<std::size_t>(state.range(0));
+  const auto spec = speccc::ltl::always(speccc::ltl::implies(
+      speccc::ltl::ap("a"),
+      speccc::ltl::next_n(speccc::ltl::ap("x"), delay)));
+  const speccc::synth::IoSignature signature{{"a"}, {"x"}};
+  speccc::synth::BoundedOptions options;
+  options.extract = false;
+  for (auto _ : state) {
+    auto outcome = speccc::synth::bounded_synthesize(spec, signature, options);
+    benchmark::DoNotOptimize(outcome.verdict);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FormulaLength)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)  // the tableau is exponential in the Next-chain depth
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+// Axis 4: fraction of liveness (response) obligations -- each adds a Buechi
+// set to the generalized-Buechi fixpoint.
+void BM_ResponseFraction(benchmark::State& state) {
+  const auto percent = static_cast<unsigned>(state.range(0));
+  SpecScale scale{"axis4", 24, 10, 12, 44, percent, 10};
+  const auto texts =
+      speccc::corpus::generate_spec(scale, speccc::corpus::device_theme());
+  speccc::core::Pipeline pipeline;
+  for (auto _ : state) {
+    auto result = pipeline.run("axis4", texts);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+}
+BENCHMARK(BM_ResponseFraction)
+    ->DenseRange(0, 80, 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table I / CARA (rows 0 - 3.2): realizability-checking time for the CARA
+// working-mode specification and the thirteen component specifications.
+//
+// The paper's absolute numbers come from 2014 Java tooling; the reproduced
+// quantity is the row structure (#formulas, #in, #out, every row
+// consistent) and the relative cost profile. After the google-benchmark
+// timings the binary prints the full reproduced table next to the published
+// seconds.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "corpus/cara.hpp"
+
+namespace {
+
+using speccc::core::Pipeline;
+using speccc::corpus::cara_component_specs;
+using speccc::corpus::cara_working_mode_texts;
+
+void BM_CaraWorkingMode(benchmark::State& state) {
+  Pipeline pipeline;
+  const auto texts = cara_working_mode_texts();
+  for (auto _ : state) {
+    auto result = pipeline.run("CARA 0", texts);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+}
+BENCHMARK(BM_CaraWorkingMode)->Unit(benchmark::kMillisecond);
+
+void BM_CaraComponent(benchmark::State& state) {
+  const auto components = cara_component_specs();
+  const auto& component = components[static_cast<std::size_t>(state.range(0))];
+  Pipeline pipeline;
+  for (auto _ : state) {
+    auto result = pipeline.run(component.name, component.requirements);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetLabel(component.number + " " + component.name);
+}
+BENCHMARK(BM_CaraComponent)->DenseRange(0, 12)->Unit(benchmark::kMillisecond);
+
+void print_reproduced_table() {
+  std::vector<speccc::core::TableRow> rows;
+  Pipeline pipeline;
+  rows.push_back(speccc::core::to_row(
+      "CARA", "0", pipeline.run("Working mode and switching", cara_working_mode_texts()),
+      34));
+  for (const auto& component : cara_component_specs()) {
+    rows.push_back(speccc::core::to_row(
+        "CARA", component.number,
+        pipeline.run(component.name, component.requirements),
+        component.table_seconds));
+  }
+  std::cout << "\nReproduced Table I / CARA\n";
+  speccc::core::print_table(std::cout, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_reproduced_table();
+  return 0;
+}

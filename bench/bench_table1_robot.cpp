@@ -1,0 +1,70 @@
+// Table I / Robot: the rescue-robot scenarios (1 robot / 4 rooms, 1 / 9,
+// 2 / 5), translated in strict Next mode so the movement requirements carry
+// real X operators, then checked for realizability.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "corpus/robot.hpp"
+
+namespace {
+
+speccc::core::Pipeline robot_pipeline() {
+  speccc::core::PipelineOptions options;
+  options.translation.next_mode = speccc::translate::NextMode::kStrict;
+  return speccc::core::Pipeline(options);
+}
+
+void BM_RobotScenario(benchmark::State& state) {
+  const auto specs = speccc::corpus::robot_specs();
+  const auto& spec = specs[static_cast<std::size_t>(state.range(0))];
+  auto pipeline = robot_pipeline();
+  for (auto _ : state) {
+    auto result = pipeline.run(spec.name, spec.requirements);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_RobotScenario)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+
+// Scaling beyond the paper's sizes: rooms sweep for one robot.
+void BM_RobotRoomsSweep(benchmark::State& state) {
+  const auto spec =
+      speccc::corpus::robot_spec(1, static_cast<int>(state.range(0)));
+  auto pipeline = robot_pipeline();
+  for (auto _ : state) {
+    auto result = pipeline.run(spec.name, spec.requirements);
+    benchmark::DoNotOptimize(result.consistent);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RobotRoomsSweep)
+    ->RangeMultiplier(2)
+    ->Range(4, 32)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+void print_reproduced_table() {
+  std::vector<speccc::core::TableRow> rows;
+  auto pipeline = robot_pipeline();
+  int number = 1;
+  for (const auto& spec : speccc::corpus::robot_specs()) {
+    rows.push_back(speccc::core::to_row(
+        "Robot", std::to_string(number++),
+        pipeline.run(spec.name, spec.requirements), spec.table_seconds));
+  }
+  std::cout << "\nReproduced Table I / Robot\n";
+  speccc::core::print_table(std::cout, rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_reproduced_table();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 2 reproduction: the syntax tree of requirement Req-17 ("When
+// auto-control mode is entered, eventually the cuff will be inflated."),
+// its typed dependencies, and the resulting LTL formula.
+//
+//   $ ./syntax_tree ["custom requirement sentence."]
+#include <iostream>
+
+#include "ltl/formula.hpp"
+#include "nlp/dependency.hpp"
+#include "nlp/syntax.hpp"
+#include "semantics/antonyms.hpp"
+#include "translate/translator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace speccc;
+
+  const std::string text =
+      argc > 1 ? argv[1]
+               : "When auto-control mode is entered, eventually the cuff "
+                 "will be inflated.";
+
+  const nlp::Lexicon lexicon = nlp::Lexicon::builtin();
+  std::cout << "sentence: " << text << "\n\n";
+
+  try {
+    const nlp::Sentence sentence = nlp::parse_sentence(text, lexicon);
+
+    std::cout << "=== syntax tree (paper Fig. 2) ===\n"
+              << nlp::syntax_tree(sentence) << "\n";
+
+    std::cout << "=== typed dependencies (Stanford-style) ===\n";
+    for (const auto& dep : nlp::dependencies(sentence)) {
+      std::cout << "  " << dep.type << "(" << dep.governor << ", "
+                << dep.dependent << ")\n";
+    }
+
+    const auto dictionary = semantics::AntonymDictionary::builtin();
+    const translate::Translator translator(lexicon, dictionary, {});
+    const auto result = translator.translate({{"Req", text}});
+    std::cout << "\n=== LTL ===\n  "
+              << ltl::to_string(result.requirements[0].formula,
+                                ltl::Style::kPaper)
+              << "\n  " << ltl::to_string(result.requirements[0].formula)
+              << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// LTL to nondeterministic Buechi automata, via the on-the-fly tableau of
+// Gerth, Peled, Vardi and Wolper (GPVW).
+//
+// The input formula is first normalized into the tableau core (negation
+// normal form over literals, And/Or, X, U, R: F a == true U a, G a ==
+// false R a, a W b == b R (a || b)). The generalized acceptance condition
+// (one set per Until subformula) is then degeneralized with the standard
+// counting construction (Baier & Katoen, Thm. 4.56).
+//
+// The synthesis engine reads the result two ways:
+//   * as an NBW for emptiness/membership (tests, baselines);
+//   * as a universal co-Buechi automaton (UCW) for phi by building the NBW
+//     of !phi and treating its accepting states as rejecting.
+#pragma once
+
+#include "automata/buchi.hpp"
+#include "ltl/formula.hpp"
+
+namespace speccc::automata {
+
+/// Translate an LTL formula into a degeneralized NBW.
+[[nodiscard]] Buchi ltl_to_nbw(ltl::Formula f);
+
+/// The UCW view for bounded synthesis: the NBW of !phi, whose accepting
+/// states are the UCW's rejecting states. A word satisfies phi iff every
+/// run of this automaton visits rejecting states only finitely often.
+[[nodiscard]] Buchi ucw_for(ltl::Formula f);
+
+}  // namespace speccc::automata

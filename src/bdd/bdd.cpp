@@ -1,0 +1,256 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace speccc::bdd {
+
+Bdd Bdd::operator!() const {
+  speccc_check(mgr_ != nullptr, "operation on null Bdd");
+  return mgr_->bdd_not(*this);
+}
+Bdd Bdd::operator&(Bdd other) const {
+  speccc_check(mgr_ != nullptr && mgr_ == other.mgr_, "manager mismatch");
+  return mgr_->bdd_and(*this, other);
+}
+Bdd Bdd::operator|(Bdd other) const {
+  speccc_check(mgr_ != nullptr && mgr_ == other.mgr_, "manager mismatch");
+  return mgr_->bdd_or(*this, other);
+}
+Bdd Bdd::operator^(Bdd other) const {
+  speccc_check(mgr_ != nullptr && mgr_ == other.mgr_, "manager mismatch");
+  return mgr_->bdd_xor(*this, other);
+}
+
+namespace {
+constexpr int kTerminalVar = 1 << 30;  // sorts after every real variable
+}
+
+Manager::Manager() {
+  nodes_.push_back({kTerminalVar, 0, 0});  // index 0: false
+  nodes_.push_back({kTerminalVar, 1, 1});  // index 1: true
+}
+
+int Manager::new_var() { return num_vars_++; }
+
+std::uint32_t Manager::mk(int var, std::uint32_t low, std::uint32_t high) {
+  if (low == high) return low;
+  const NodeKey key{var, low, high};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  nodes_.push_back({var, low, high});
+  const auto index = static_cast<std::uint32_t>(nodes_.size() - 1);
+  unique_.emplace(key, index);
+  return index;
+}
+
+Bdd Manager::var(int v) {
+  speccc_check(v >= 0 && v < num_vars_, "unknown variable");
+  return wrap(mk(v, 0, 1));
+}
+
+Bdd Manager::nvar(int v) {
+  speccc_check(v >= 0 && v < num_vars_, "unknown variable");
+  return wrap(mk(v, 1, 0));
+}
+
+std::uint32_t Manager::ite_rec(std::uint32_t f, std::uint32_t g,
+                               std::uint32_t h) {
+  // Terminal cases.
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+
+  const std::array<std::uint32_t, 3> key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const int top = std::min({var_of(f), var_of(g), var_of(h)});
+  const auto cof = [&](std::uint32_t n, bool hi) -> std::uint32_t {
+    if (var_of(n) != top) return n;
+    return hi ? nodes_[n].high : nodes_[n].low;
+  };
+  const std::uint32_t t = ite_rec(cof(f, true), cof(g, true), cof(h, true));
+  const std::uint32_t e = ite_rec(cof(f, false), cof(g, false), cof(h, false));
+  const std::uint32_t result = mk(top, e, t);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+Bdd Manager::ite(Bdd f, Bdd g, Bdd h) {
+  speccc_check(f.manager() == this && g.manager() == this && h.manager() == this,
+               "ite across managers");
+  return wrap(ite_rec(f.index(), g.index(), h.index()));
+}
+
+std::uint32_t Manager::exists_rec(
+    std::uint32_t f, const std::vector<int>& vars,
+    std::unordered_map<std::uint32_t, std::uint32_t>& cache) {
+  if (f <= 1) return f;
+  const int v = var_of(f);
+  // Variables are sorted; if every quantified variable is above v in the
+  // order, nothing below can mention them.
+  if (v > vars.back()) return f;
+  auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+
+  const std::uint32_t lo = exists_rec(nodes_[f].low, vars, cache);
+  const std::uint32_t hi = exists_rec(nodes_[f].high, vars, cache);
+  std::uint32_t result;
+  if (std::binary_search(vars.begin(), vars.end(), v)) {
+    result = ite_rec(lo, 1, hi);  // lo || hi
+  } else {
+    result = mk(v, lo, hi);
+  }
+  cache.emplace(f, result);
+  return result;
+}
+
+Bdd Manager::exists(Bdd f, const std::vector<int>& vars) {
+  speccc_check(f.manager() == this, "exists across managers");
+  if (vars.empty() || f.is_terminal()) return f;
+  std::vector<int> sorted = vars;
+  std::sort(sorted.begin(), sorted.end());
+  std::unordered_map<std::uint32_t, std::uint32_t> cache;
+  return wrap(exists_rec(f.index(), sorted, cache));
+}
+
+Bdd Manager::forall(Bdd f, const std::vector<int>& vars) {
+  return bdd_not(exists(bdd_not(f), vars));
+}
+
+Bdd Manager::restrict_var(Bdd f, int v, bool value) {
+  std::vector<Bdd> map(static_cast<std::size_t>(num_vars_));
+  map[static_cast<std::size_t>(v)] = value ? bdd_true() : bdd_false();
+  return vector_compose(f, map);
+}
+
+std::uint32_t Manager::compose_rec(
+    std::uint32_t f, const std::vector<Bdd>& map,
+    std::unordered_map<std::uint32_t, std::uint32_t>& cache) {
+  if (f <= 1) return f;
+  auto it = cache.find(f);
+  if (it != cache.end()) return it->second;
+
+  const int v = var_of(f);
+  const std::uint32_t lo = compose_rec(nodes_[f].low, map, cache);
+  const std::uint32_t hi = compose_rec(nodes_[f].high, map, cache);
+  std::uint32_t result;
+  const Bdd& g = map[static_cast<std::size_t>(v)];
+  if (g.is_null()) {
+    // Identity: rebuild with ite to keep ordering canonical (lo/hi may now
+    // contain variables above v).
+    const std::uint32_t v_bdd = mk(v, 0, 1);
+    result = ite_rec(v_bdd, hi, lo);
+  } else {
+    result = ite_rec(g.index(), hi, lo);
+  }
+  cache.emplace(f, result);
+  return result;
+}
+
+Bdd Manager::vector_compose(Bdd f, const std::vector<Bdd>& map) {
+  speccc_check(f.manager() == this, "compose across managers");
+  speccc_check(map.size() == static_cast<std::size_t>(num_vars_),
+               "compose map must cover all variables");
+  std::unordered_map<std::uint32_t, std::uint32_t> cache;
+  return wrap(compose_rec(f.index(), map, cache));
+}
+
+std::vector<std::pair<int, bool>> Manager::pick_model(Bdd f) {
+  speccc_check(f.manager() == this, "pick_model across managers");
+  std::vector<std::pair<int, bool>> out;
+  std::uint32_t n = f.index();
+  while (n > 1) {
+    const Node& node = nodes_[n];
+    if (node.high != 0) {
+      out.emplace_back(node.var, true);
+      n = node.high;
+    } else {
+      out.emplace_back(node.var, false);
+      n = node.low;
+    }
+  }
+  if (n == 0) return {};  // f is false
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Manager::evaluate(Bdd f, const std::vector<bool>& assignment) {
+  speccc_check(f.manager() == this, "evaluate across managers");
+  std::uint32_t n = f.index();
+  while (n > 1) {
+    const Node& node = nodes_[n];
+    speccc_check(static_cast<std::size_t>(node.var) < assignment.size(),
+                 "assignment does not cover variable");
+    n = assignment[static_cast<std::size_t>(node.var)] ? node.high : node.low;
+  }
+  return n == 1;
+}
+
+double Manager::sat_count(Bdd f, int var_count) {
+  speccc_check(f.manager() == this, "sat_count across managers");
+  std::unordered_map<std::uint32_t, double> cache;
+  // Count models over variables [0, var_count).
+  auto rec = [&](auto&& self, std::uint32_t n) -> double {
+    if (n == 0) return 0.0;
+    if (n == 1) return 1.0;
+    auto it = cache.find(n);
+    if (it != cache.end()) return it->second;
+    const Node& node = nodes_[n];
+    const double lo = self(self, node.low);
+    const double hi = self(self, node.high);
+    const int lo_var = node.low <= 1 ? var_count : var_of(node.low);
+    const int hi_var = node.high <= 1 ? var_count : var_of(node.high);
+    const double result = lo * std::pow(2.0, lo_var - node.var - 1) +
+                          hi * std::pow(2.0, hi_var - node.var - 1);
+    cache.emplace(n, result);
+    return result;
+  };
+  if (f.is_terminal()) {
+    return f.is_true() ? std::pow(2.0, var_count) : 0.0;
+  }
+  return rec(rec, f.index()) * std::pow(2.0, var_of(f.index()));
+}
+
+std::vector<int> Manager::support(Bdd f) {
+  speccc_check(f.manager() == this, "support across managers");
+  std::vector<bool> seen_node(nodes_.size(), false);
+  std::vector<bool> in_support(static_cast<std::size_t>(num_vars_), false);
+  std::vector<std::uint32_t> stack{f.index()};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || seen_node[n]) continue;
+    seen_node[n] = true;
+    in_support[static_cast<std::size_t>(nodes_[n].var)] = true;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  std::vector<int> out;
+  for (int v = 0; v < num_vars_; ++v) {
+    if (in_support[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+std::size_t Manager::size(Bdd f) {
+  speccc_check(f.manager() == this, "size across managers");
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<std::uint32_t> stack{f.index()};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (n <= 1 || seen[n]) continue;
+    seen[n] = true;
+    ++count;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return count;
+}
+
+}  // namespace speccc::bdd

@@ -1,0 +1,164 @@
+// Reduced ordered binary decision diagrams.
+//
+// This is the symbolic backbone of the scalable synthesis engine: Table I
+// specifications have 20-30 input/output variables plus monitor state bits,
+// far beyond explicit-alphabet game solving. The manager is arena-based
+// (no garbage collection: nodes live until the manager dies), with a unique
+// table for canonicity and memoized ITE/quantification/composition. Variable
+// order is fixed at creation order.
+//
+// Node indices: 0 is the false terminal, 1 the true terminal. A Bdd value is
+// a (manager, index) pair; all operations must stay within one manager.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::bdd {
+
+class Manager;
+
+/// A handle to a BDD node. Cheap to copy; valid as long as its manager.
+class Bdd {
+ public:
+  Bdd() = default;
+
+  [[nodiscard]] bool is_null() const { return mgr_ == nullptr; }
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] Manager* manager() const { return mgr_; }
+
+  [[nodiscard]] bool is_false() const { return index_ == 0 && mgr_ != nullptr; }
+  [[nodiscard]] bool is_true() const { return index_ == 1; }
+  [[nodiscard]] bool is_terminal() const { return index_ <= 1; }
+
+  friend bool operator==(Bdd a, Bdd b) {
+    return a.mgr_ == b.mgr_ && a.index_ == b.index_;
+  }
+  friend bool operator!=(Bdd a, Bdd b) { return !(a == b); }
+
+  // Operator sugar; all delegate to the manager.
+  [[nodiscard]] Bdd operator!() const;
+  [[nodiscard]] Bdd operator&(Bdd other) const;
+  [[nodiscard]] Bdd operator|(Bdd other) const;
+  [[nodiscard]] Bdd operator^(Bdd other) const;
+
+ private:
+  friend class Manager;
+  Bdd(Manager* mgr, std::uint32_t index) : mgr_(mgr), index_(index) {}
+  Manager* mgr_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+class Manager {
+ public:
+  Manager();
+  Manager(const Manager&) = delete;
+  Manager& operator=(const Manager&) = delete;
+
+  [[nodiscard]] Bdd bdd_false() { return {this, 0}; }
+  [[nodiscard]] Bdd bdd_true() { return {this, 1}; }
+
+  /// Create a fresh variable (appended at the bottom of the order). Returns
+  /// its index.
+  int new_var();
+  [[nodiscard]] int num_vars() const { return num_vars_; }
+
+  /// The BDD for a single variable / its negation.
+  [[nodiscard]] Bdd var(int v);
+  [[nodiscard]] Bdd nvar(int v);
+  /// Literal: variable v with the given polarity.
+  [[nodiscard]] Bdd literal(int v, bool positive) {
+    return positive ? var(v) : nvar(v);
+  }
+
+  // Core operations (memoized).
+  [[nodiscard]] Bdd ite(Bdd f, Bdd g, Bdd h);
+  [[nodiscard]] Bdd bdd_not(Bdd f) { return ite(f, bdd_false(), bdd_true()); }
+  [[nodiscard]] Bdd bdd_and(Bdd f, Bdd g) { return ite(f, g, bdd_false()); }
+  [[nodiscard]] Bdd bdd_or(Bdd f, Bdd g) { return ite(f, bdd_true(), g); }
+  [[nodiscard]] Bdd bdd_xor(Bdd f, Bdd g) { return ite(f, bdd_not(g), g); }
+  [[nodiscard]] Bdd implies(Bdd f, Bdd g) { return ite(f, g, bdd_true()); }
+  [[nodiscard]] Bdd iff(Bdd f, Bdd g) { return bdd_not(bdd_xor(f, g)); }
+
+  /// Existential quantification over a set of variables.
+  [[nodiscard]] Bdd exists(Bdd f, const std::vector<int>& vars);
+  /// Universal quantification over a set of variables.
+  [[nodiscard]] Bdd forall(Bdd f, const std::vector<int>& vars);
+
+  /// Cofactor f with variable v fixed to the given value.
+  [[nodiscard]] Bdd restrict_var(Bdd f, int v, bool value);
+
+  /// Simultaneous substitution of variables by functions: every variable v
+  /// in `map` (indexed by variable, null Bdd = identity) is replaced by
+  /// map[v]. Used to compute S[state := delta(state, in, out)] in one pass.
+  [[nodiscard]] Bdd vector_compose(Bdd f, const std::vector<Bdd>& map);
+
+  /// One satisfying assignment (minterm over the support of f), or empty if
+  /// f is false. Pairs of (variable, value), sorted by variable.
+  [[nodiscard]] std::vector<std::pair<int, bool>> pick_model(Bdd f);
+
+  /// Evaluate f under a full assignment (indexed by variable).
+  [[nodiscard]] bool evaluate(Bdd f, const std::vector<bool>& assignment);
+
+  /// Number of satisfying assignments over the first `var_count` variables.
+  [[nodiscard]] double sat_count(Bdd f, int var_count);
+
+  /// Variables appearing in f, ascending.
+  [[nodiscard]] std::vector<int> support(Bdd f);
+
+  /// Number of live nodes (diagnostics / benchmarks).
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Number of nodes reachable from f (its size).
+  [[nodiscard]] std::size_t size(Bdd f);
+
+ private:
+  struct Node {
+    int var;
+    std::uint32_t low;
+    std::uint32_t high;
+  };
+
+  struct NodeKey {
+    int var;
+    std::uint32_t low;
+    std::uint32_t high;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const {
+      std::size_t h = static_cast<std::size_t>(k.var) * 0x9e3779b97f4a7c15ULL;
+      h ^= (static_cast<std::size_t>(k.low) << 20) ^ k.high;
+      return h ^ (h >> 29);
+    }
+  };
+  struct TripleHash {
+    std::size_t operator()(const std::array<std::uint32_t, 3>& k) const {
+      std::size_t h = k[0];
+      h = h * 0x100000001b3ULL ^ k[1];
+      h = h * 0x100000001b3ULL ^ k[2];
+      return h;
+    }
+  };
+
+  std::uint32_t mk(int var, std::uint32_t low, std::uint32_t high);
+  std::uint32_t ite_rec(std::uint32_t f, std::uint32_t g, std::uint32_t h);
+  std::uint32_t exists_rec(std::uint32_t f, const std::vector<int>& vars,
+                           std::unordered_map<std::uint32_t, std::uint32_t>& cache);
+  std::uint32_t compose_rec(std::uint32_t f, const std::vector<Bdd>& map,
+                            std::unordered_map<std::uint32_t, std::uint32_t>& cache);
+
+  [[nodiscard]] int var_of(std::uint32_t n) const { return nodes_[n].var; }
+  [[nodiscard]] Bdd wrap(std::uint32_t n) { return {this, n}; }
+
+  int num_vars_ = 0;
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, std::uint32_t, NodeKeyHash> unique_;
+  std::unordered_map<std::array<std::uint32_t, 3>, std::uint32_t, TripleHash>
+      ite_cache_;
+};
+
+}  // namespace speccc::bdd

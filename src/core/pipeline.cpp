@@ -1,0 +1,97 @@
+#include "core/pipeline.hpp"
+
+#include <map>
+
+#include "automata/emptiness.hpp"
+#include "ltl/rewrite.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::core {
+
+Pipeline::Pipeline(PipelineOptions options)
+    : options_(std::move(options)),
+      lexicon_(options_.lexicon.value_or(nlp::Lexicon::builtin())),
+      dictionary_(
+          options_.dictionary.value_or(semantics::AntonymDictionary::builtin())) {}
+
+PipelineResult Pipeline::run(
+    const std::string& name,
+    const std::vector<translate::RequirementText>& requirements) const {
+  PipelineResult result;
+  result.name = name;
+
+  const translate::Translator translator(lexicon_, dictionary_,
+                                         options_.translation);
+
+  // ---- Stage 1: translation ---------------------------------------------------
+  util::Stopwatch stage1;
+  result.translation = translator.translate(requirements);
+
+  // Time abstraction: harvest Theta, optimize, re-translate with the mapper.
+  const auto thetas = result.translation.thetas();
+  if (options_.time_abstraction && !thetas.empty()) {
+    timeabs::Request request;
+    request.thetas = thetas;
+    request.error_budget = options_.error_budget;
+    const auto abstraction = timeabs::optimize(request, options_.timeabs_backend);
+    speccc_check(abstraction.has_value(), "abstraction always has d=1 fallback");
+    result.abstraction = abstraction;
+
+    std::map<unsigned, unsigned> remap;
+    for (std::size_t i = 0; i < thetas.size(); ++i) {
+      remap[thetas[i]] = abstraction->reduced[i];
+    }
+    const translate::TickMapper mapper = [remap](unsigned ticks) -> unsigned {
+      const auto it = remap.find(ticks);
+      return it == remap.end() ? ticks : it->second;
+    };
+    result.translation = translator.translate(requirements, mapper);
+  }
+
+  const std::vector<ltl::Formula> formulas = result.translation.formulas();
+  result.partition = partition::unify(formulas, options_.partition_overrides);
+
+  // Per-requirement satisfiability screening: an unsatisfiable requirement
+  // makes the whole specification unimplementable regardless of the
+  // partition, so it is reported as early diagnostics.
+  if (options_.satisfiability_check) {
+    for (const auto& req : result.translation.requirements) {
+      if (ltl::max_next_chain(req.formula) > options_.satisfiability_chain_cap) {
+        continue;
+      }
+      if (!automata::satisfiable(req.formula)) {
+        result.unsatisfiable_requirements.push_back(req.id);
+      }
+    }
+  }
+  result.translation_seconds = stage1.seconds();
+
+  // ---- Stage 2: realizability -------------------------------------------------
+  synth::IoSignature signature;
+  signature.inputs.assign(result.partition.inputs.begin(),
+                          result.partition.inputs.end());
+  signature.outputs.assign(result.partition.outputs.begin(),
+                           result.partition.outputs.end());
+
+  util::Stopwatch stage2;
+  result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+  result.synthesis_seconds = stage2.seconds();
+  result.consistent =
+      result.synthesis.verdict == synth::Realizability::kRealizable;
+
+  // ---- Stage 3: refinement loop -------------------------------------------------
+  if (!result.consistent && options_.refine_on_failure) {
+    util::Stopwatch stage3;
+    result.refinement =
+        refine::refine(formulas, result.partition, options_.synthesis);
+    result.refinement_seconds = stage3.seconds();
+    if (result.refinement->consistent) {
+      result.consistent = true;
+      result.partition = result.refinement->partition;
+    }
+  }
+  return result;
+}
+
+}  // namespace speccc::core

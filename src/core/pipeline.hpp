@@ -1,0 +1,87 @@
+// The SpecCC pipeline (paper Fig. 1): the paper's primary contribution,
+// wiring the three stages into the requirement-consistency maintenance loop.
+//
+//   stage 1: structured English -> LTL (translation + semantic reasoning +
+//            time abstraction + input/output partition);
+//   stage 2: realizability checking via synthesis;
+//   stage 3: heuristic refinement on failure (inconsistency localization and
+//            partition adjustment), feeding back into stage 2.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "refine/refine.hpp"
+#include "semantics/antonyms.hpp"
+#include "synth/synthesizer.hpp"
+#include "timeabs/abstraction.hpp"
+#include "translate/translator.hpp"
+
+namespace speccc::core {
+
+struct PipelineOptions {
+  translate::Options translation;
+  /// Section IV-E: rewrite Next chains with the optimal divisor abstraction.
+  bool time_abstraction = true;
+  std::uint32_t error_budget = 5;  // the paper's B
+  timeabs::Backend timeabs_backend = timeabs::Backend::kEnumeration;
+  synth::SynthesisOptions synthesis;
+  partition::Overrides partition_overrides;
+  /// Stage 3: run localization + partition adjustment when unrealizable.
+  bool refine_on_failure = true;
+  /// Flag individually unsatisfiable requirements (tableau emptiness) before
+  /// synthesis. Requirements whose abstracted Next chains still exceed
+  /// satisfiability_chain_cap are skipped (the tableau is exponential in
+  /// the chain length).
+  bool satisfiability_check = true;
+  std::size_t satisfiability_chain_cap = 12;
+  /// Custom vocabulary; defaults to the builtins (see corpus/loaders.hpp for
+  /// file-based extension).
+  std::optional<nlp::Lexicon> lexicon;
+  std::optional<semantics::AntonymDictionary> dictionary;
+};
+
+struct PipelineResult {
+  std::string name;
+  translate::TranslationResult translation;
+  std::optional<timeabs::Abstraction> abstraction;
+  partition::Partition partition;       // final partition (post-refinement)
+  synth::SynthesisResult synthesis;     // the initial stage-2 verdict
+  std::optional<refine::RefinementOutcome> refinement;
+  /// Requirements that are unsatisfiable on their own (no implementation of
+  /// the whole specification can exist; reported before synthesis).
+  std::vector<std::string> unsatisfiable_requirements;
+  /// Realizable, possibly after refinement (the paper's "consistent").
+  bool consistent = false;
+  double translation_seconds = 0.0;  // stage 1 wall clock
+  double synthesis_seconds = 0.0;    // stage 2 wall clock (Table I column)
+  double refinement_seconds = 0.0;   // stage 3 wall clock
+
+  [[nodiscard]] std::size_t num_formulas() const {
+    return translation.requirements.size();
+  }
+  [[nodiscard]] std::size_t num_inputs() const { return partition.inputs.size(); }
+  [[nodiscard]] std::size_t num_outputs() const { return partition.outputs.size(); }
+};
+
+class Pipeline {
+ public:
+  Pipeline() : Pipeline(PipelineOptions{}) {}
+  explicit Pipeline(PipelineOptions options);
+
+  /// Run the full loop on a named specification.
+  [[nodiscard]] PipelineResult run(
+      const std::string& name,
+      const std::vector<translate::RequirementText>& requirements) const;
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+ private:
+  PipelineOptions options_;
+  nlp::Lexicon lexicon_;
+  semantics::AntonymDictionary dictionary_;
+};
+
+}  // namespace speccc::core

@@ -1,0 +1,36 @@
+// Reporting: Table I-style rows and human-readable consistency reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace speccc::core {
+
+/// One reproduced Table I row.
+struct TableRow {
+  std::string group;   // CARA / TELE / Robot
+  std::string number;  // "2.1.1"
+  std::string name;
+  std::size_t formulas = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  double seconds = 0.0;        // measured realizability-check time
+  double paper_seconds = 0.0;  // the published number
+  bool consistent = false;
+  bool refined = false;  // consistency restored by partition adjustment
+};
+
+[[nodiscard]] TableRow to_row(const std::string& group, const std::string& number,
+                              const PipelineResult& result, double paper_seconds);
+
+/// Print rows in the paper's Table I layout plus measured columns.
+void print_table(std::ostream& os, const std::vector<TableRow>& rows);
+
+/// Multi-line report of one pipeline run: stage timings, partition,
+/// abstraction, verdict, refinement trace.
+[[nodiscard]] std::string describe(const PipelineResult& result);
+
+}  // namespace speccc::core

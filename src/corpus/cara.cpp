@@ -1,0 +1,228 @@
+#include "corpus/cara.hpp"
+
+#include "corpus/generator.hpp"
+
+namespace speccc::corpus {
+
+std::vector<GoldenRequirement> cara_working_mode() {
+  return {
+      {"Req-01",
+       "The CARA will be operational whenever the LSTAT is powered on.",
+       "G (power_lstat -> F operational_cara)", ""},
+      {"Req-02",
+       "If the pump is turned off, next wait mode is started.",
+       "G (turn_pump -> start_wait_mode)", ""},
+      {"Req-07",
+       "If an occlusion is detected, and auto control mode is running, auto "
+       "control mode will be terminated.",
+       "G (detect_occlusion && run_auto_control_mode -> F "
+       "terminate_auto_control_mode)",
+       ""},
+      {"Req-08",
+       "If Air Ok signal remains low, auto control mode is terminated in 3 "
+       "seconds.",
+       "G (!air_ok_signal -> terminate_auto_control_mode)",
+       "G (!air_ok_signal -> X X X terminate_auto_control_mode)"},
+      {"Req-13.1",
+       "If arterial line and pulse wave are corroborated, and cuff is "
+       "available, next arterial line is selected.",
+       "G (corroborate_arterial_line && corroborate_pulse_wave && cuff -> "
+       "select_arterial_line)",
+       ""},
+      {"Req-13.2",
+       "If pulse wave is corroborated, and cuff is available, and arterial "
+       "line is not corroborated, next pulse wave is selected.",
+       "G (corroborate_pulse_wave && cuff && !corroborate_arterial_line -> "
+       "select_pulse_wave)",
+       ""},
+      {"Req-13.3",
+       "If arterial line is not corroborated, and pulse wave is not "
+       "corroborated, and cuff is available, then cuff is selected.",
+       "G (!corroborate_arterial_line && !corroborate_pulse_wave && cuff -> "
+       "select_cuff)",
+       ""},
+      {"Req-16",
+       "If a pump is plugged in, and an infusate is ready, and the occlusion "
+       "line is clear, auto control mode can be started.",
+       "G (plug_pump && ready_infusate && clear_occlusion_line -> "
+       "start_auto_control_mode)",
+       ""},
+      {"Req-17.1",
+       "When auto control mode is running, eventually the cuff will be "
+       "inflated.",
+       "G (run_auto_control_mode -> F inflate_cuff)", ""},
+      {"Req-17.2",
+       "If start auto control button is pressed, and cuff is not available, "
+       "an alarm is issued and override selection is provided.",
+       "G (press_start_auto_control_button && !cuff -> issue_alarm && "
+       "provide_override_selection)",
+       ""},
+      {"Req-17.3",
+       "If alarm reset button is pressed, the alarm is disabled.",
+       "G (press_alarm_reset_button -> !alarm)", ""},
+      {"Req-17.4",
+       "If override selection is provided, if override yes is pressed, and "
+       "arterial line is not corroborated, next arterial line is selected.",
+       "G (provide_override_selection -> press_override_yes && "
+       "!corroborate_arterial_line -> select_arterial_line)",
+       ""},
+      {"Req-17.5",
+       "If override selection is provided, if override yes is pressed, and "
+       "arterial line is corroborated, and pulse wave is not corroborated, "
+       "next pulse wave is selected.",
+       "G (provide_override_selection -> press_override_yes && "
+       "corroborate_arterial_line && !corroborate_pulse_wave -> "
+       "select_pulse_wave)",
+       ""},
+      {"Req-17.6",
+       "If override selection is provided, if override no is pressed, next "
+       "manual mode is started.",
+       "G (provide_override_selection -> press_override_no -> "
+       "start_manual_mode)",
+       ""},
+      {"Req-17.7",
+       "If cuff and arterial line and pulse wave are not available, next "
+       "manual mode is started.",
+       "G (!cuff && !arterial_line && !pulse_wave -> start_manual_mode)", ""},
+      {"Req-20",
+       "If manual mode is running and start auto control button is pressed, "
+       "next corroboration is triggered.",
+       "G (run_manual_mode && press_start_auto_control_button -> "
+       "trigger_corroboration)",
+       ""},
+      {"Req-28",
+       "If a valid blood pressure is unavailable in 180 seconds, manual mode "
+       "should be triggered.",
+       "G (X X X !blood_pressure -> trigger_manual_mode)", ""},
+      {"Req-32.1",
+       "If pulse wave or arterial line is available, and cuff is selected, "
+       "corroboration is triggered.",
+       "G ((pulse_wave || arterial_line) && select_cuff -> "
+       "trigger_corroboration)",
+       ""},
+      {"Req-32.2",
+       "If pulse wave is selected, and arterial line is available, "
+       "corroboration is triggered.",
+       "G (select_pulse_wave && arterial_line -> trigger_corroboration)", ""},
+      {"Req-34",
+       "When auto control mode is running, terminate auto control button "
+       "should be available.",
+       "G (run_auto_control_mode -> terminate_auto_control_button)", ""},
+      {"Req-42",
+       "When auto control mode is running, and the arterial line, or pulse "
+       "wave or cuff is lost, an alarm should sound in 60 seconds.",
+       "G (run_auto_control_mode && (!arterial_line || !pulse_wave || !cuff) "
+       "-> X sound_alarm)",
+       ""},
+      {"Req-44",
+       "If pulse wave and arterial line are unavailable, and cuff is "
+       "selected, and blood pressure is not valid, next manual mode is "
+       "started.",
+       "G (!pulse_wave && !arterial_line && select_cuff && !blood_pressure "
+       "-> start_manual_mode)",
+       ""},
+      {"Req-48.1",
+       "Whenever termiante auto control button is selected, a confirmation "
+       "button is available.",
+       "G (select_termiante_auto_control_button -> confirmation_button)", ""},
+      {"Req-48.2",
+       "If a confirmation button is available, and confirmation yes is "
+       "pressed, manual mode is started.",
+       "G (confirmation_button && press_confirmation_yes -> "
+       "start_manual_mode)",
+       ""},
+      {"Req-48.3",
+       "If a confirmation button is available, and confirmation no is "
+       "pressed, auto control mode is running.",
+       "G (confirmation_button && press_confirmation_no -> "
+       "run_auto_control_mode)",
+       ""},
+      {"Req-48.4",
+       "If a confirmation button is available, and confirmation yes is "
+       "pressed, next confirmation yes is disabled.",
+       "G (confirmation_button && press_confirmation_yes -> "
+       "!confirmation_yes)",
+       ""},
+      {"Req-48.5",
+       "If a confirmation button is available, and confirmation no is "
+       "pressed, next confirmation no is disabled.",
+       "G (confirmation_button && press_confirmation_no -> "
+       "!confirmation_no)",
+       ""},
+      {"Req-48.6",
+       "If a confirmation button is available, and terminating auto control "
+       "button is pressed, next terminating auto control button is "
+       "disabled.",
+       "G (confirmation_button && press_terminating_auto_control_button -> "
+       "!terminating_auto_control_button)",
+       ""},
+      {"Req-49",
+       "When a start auto control button is enabled, the start auto control "
+       "button is enabled until it is pressed.",
+       "G (start_auto_control_button -> !press_start_auto_control_button -> "
+       "start_auto_control_button W press_start_auto_control_button)",
+       ""},
+      {"Req-54",
+       "If auto control mode is running, and impedance reading is "
+       "unavailable, next auto control mode is terminated.",
+       "G (run_auto_control_mode && !impedance_reading -> "
+       "terminate_auto_control_mode)",
+       ""},
+  };
+}
+
+std::vector<translate::RequirementText> cara_working_mode_texts() {
+  std::vector<translate::RequirementText> out;
+  for (const GoldenRequirement& g : cara_working_mode()) {
+    out.push_back({g.id, g.text});
+  }
+  return out;
+}
+
+std::vector<ComponentSpec> cara_component_specs() {
+  struct Row {
+    const char* number;
+    const char* name;
+    int formulas, in, out;
+    double seconds;
+    unsigned response_percent;
+    unsigned timed_percent;
+    std::uint64_t seed;
+  };
+  // Published Table I scales; response rates follow the published cost
+  // profile (rows 2.2.2 / 2.2.7 / 3.2 / 3.1 are the expensive ones).
+  const Row rows[] = {
+      {"1", "Pump Monitor", 20, 9, 14, 2, 15, 15, 11},
+      {"2.1.1", "BPM: cuff detector", 14, 13, 12, 1, 8, 10, 12},
+      {"2.1.2", "BPM: AL detector", 15, 11, 14, 2, 12, 10, 13},
+      {"2.1.3", "BPM: pulse wave detector", 14, 9, 12, 1, 8, 10, 14},
+      {"2.2.1", "BPM: initial auto control", 16, 14, 15, 1, 8, 10, 15},
+      {"2.2.2", "BPM: first corroboration", 19, 11, 16, 29, 45, 15, 16},
+      {"2.2.3", "BPM: valid ctrl blood pressure", 13, 11, 10, 2, 12, 10, 17},
+      {"2.2.4", "BPM: cuff source handler", 11, 9, 10, 2, 12, 10, 18},
+      {"2.2.5", "BPM: arterial line blood pressure", 16, 9, 13, 1, 8, 10, 19},
+      {"2.2.6", "BPM: arterial line corroboration", 12, 8, 13, 1, 8, 10, 20},
+      {"2.2.7", "BPM: pulse wave handler", 20, 10, 21, 23, 40, 15, 21},
+      {"3.1", "(PA) Model ctrl algorithm", 9, 15, 11, 3, 30, 15, 22},
+      {"3.2", "(PA) Polling algorithm", 56, 12, 20, 11, 25, 15, 23},
+  };
+
+  std::vector<ComponentSpec> out;
+  const Theme theme = device_theme();
+  for (const Row& row : rows) {
+    ComponentSpec spec;
+    spec.number = row.number;
+    spec.name = row.name;
+    spec.table_formulas = row.formulas;
+    spec.table_inputs = row.in;
+    spec.table_outputs = row.out;
+    spec.table_seconds = row.seconds;
+    SpecScale scale{std::string("CARA-") + row.number, row.formulas, row.in,
+                    row.out, row.seed, row.response_percent, row.timed_percent};
+    spec.requirements = generate_spec(scale, theme);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace speccc::corpus

@@ -1,0 +1,167 @@
+#include "corpus/generator.hpp"
+
+#include <algorithm>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::corpus {
+
+Theme device_theme() {
+  Theme t;
+  t.nouns = {"pump",   "valve",  "sensor", "line",    "signal", "monitor",
+             "button", "alarm",  "reading", "source",  "rate",   "status",
+             "mode",   "battery", "supply", "detector", "light",  "door"};
+  t.input_verbs = {"pressed", "detected", "received", "selected", "requested",
+                   "measured"};
+  t.output_verbs = {"triggered", "displayed", "issued", "updated",
+                    "raised",    "activated", "sent",   "confirmed"};
+  return t;
+}
+
+Theme application_theme() {
+  Theme t;
+  t.nouns = {"order",   "cart",    "item",    "page",    "account", "payment",
+             "card",    "catalog", "request", "message", "notice",  "session",
+             "query",   "record",  "review",  "draft",   "seat",    "ticket",
+             "posting", "schedule"};
+  t.input_verbs = {"pressed", "submitted", "received", "selected", "requested",
+                   "detected"};
+  t.output_verbs = {"displayed", "confirmed", "sent",   "updated",
+                    "stored",    "issued",    "queued", "posted"};
+  return t;
+}
+
+namespace {
+
+struct PropPhrase {
+  std::string determiner_noun;  // "the order button"
+  std::string verb;             // "pressed"
+};
+
+/// Distinct noun phrases: single nouns first, then pairs.
+std::vector<std::string> noun_phrases(const Theme& theme, std::size_t count,
+                                      util::Rng& rng) {
+  std::vector<std::string> out;
+  const auto& nouns = theme.nouns;
+  for (std::size_t i = 0; i < nouns.size() && out.size() < count; ++i) {
+    out.push_back(nouns[i]);
+  }
+  for (std::size_t i = 0; out.size() < count; ++i) {
+    const std::size_t a = i % nouns.size();
+    const std::size_t b = (i / nouns.size() + a + 1) % nouns.size();
+    if (a == b) continue;
+    out.push_back(nouns[a] + " " + nouns[b]);
+  }
+  // Shuffle deterministically for variety across seeds.
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.below(i)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<translate::RequirementText> generate_spec(const SpecScale& scale,
+                                                      const Theme& theme) {
+  if (scale.formulas <= 0 || scale.inputs <= 0 || scale.outputs <= 0) {
+    throw util::InvalidInputError("spec scale must be positive");
+  }
+  if (scale.inputs > 3 * scale.formulas) {
+    throw util::InvalidInputError(
+        "too many inputs for the formula budget (max 3 per requirement)");
+  }
+  if (scale.outputs > 2 * scale.formulas) {
+    throw util::InvalidInputError(
+        "too many outputs for the formula budget (max 2 per requirement)");
+  }
+
+  util::Rng rng(scale.seed * 0x9e3779b97f4a7c15ULL + 17);
+
+  // Build distinct input and output phrases. A proposition's identity is
+  // verb_nounphrase, so phrases must not repeat a (verb, noun) combination.
+  const auto in_nps = noun_phrases(theme, static_cast<std::size_t>(scale.inputs), rng);
+  const auto out_nps = noun_phrases(theme, static_cast<std::size_t>(scale.outputs), rng);
+  std::vector<PropPhrase> inputs;
+  std::vector<PropPhrase> outputs;
+  for (int i = 0; i < scale.inputs; ++i) {
+    inputs.push_back({"the " + in_nps[static_cast<std::size_t>(i)],
+                      theme.input_verbs[static_cast<std::size_t>(i) %
+                                        theme.input_verbs.size()]});
+  }
+  for (int i = 0; i < scale.outputs; ++i) {
+    outputs.push_back({"the " + out_nps[static_cast<std::size_t>(i)],
+                       theme.output_verbs[static_cast<std::size_t>(i) %
+                                          theme.output_verbs.size()]});
+  }
+
+  // The last output is reserved for negative consequents only (never forced
+  // positive), keeping the specification realizable.
+  const std::size_t negative_only =
+      outputs.size() > 3 ? outputs.size() - 1 : outputs.size();
+
+  std::vector<translate::RequirementText> spec;
+  std::size_t next_input = 0;
+  std::size_t next_output = 0;
+  const std::vector<unsigned> deadlines = {5, 10, 30, 60, 120};
+
+  for (int f = 0; f < scale.formulas; ++f) {
+    const int remaining = scale.formulas - f;
+    const std::size_t inputs_left = inputs.size() - next_input;
+    const std::size_t outputs_left = outputs.size() - next_output;
+
+    // How many fresh inputs/outputs this requirement must absorb to fit the
+    // budget.
+    std::size_t k_in = (inputs_left + static_cast<std::size_t>(remaining) - 1) /
+                       static_cast<std::size_t>(remaining);
+    k_in = std::clamp<std::size_t>(k_in, 1, 3);
+    std::size_t k_out = (outputs_left + static_cast<std::size_t>(remaining) - 1) /
+                        static_cast<std::size_t>(remaining);
+    k_out = std::clamp<std::size_t>(k_out, 1, 2);
+
+    const auto take_input = [&]() -> const PropPhrase& {
+      if (next_input < inputs.size()) return inputs[next_input++];
+      return inputs[rng.below(inputs.size())];
+    };
+    const auto take_output = [&](bool allow_negative_slot) -> std::size_t {
+      if (next_output < outputs.size()) return next_output++;
+      // Reuse, avoiding the negative-only slot for positive consequents.
+      const std::size_t limit =
+          allow_negative_slot ? outputs.size() : negative_only;
+      return rng.below(limit);
+    };
+
+    // Response and timed obligations only combine with a single consequent:
+    // the pattern fragment (and the paper's templates) attach F / X^n to the
+    // whole consequent.
+    const bool response = k_out == 1 && rng.below(100) < scale.response_percent;
+    const bool timed =
+        k_out == 1 && !response && rng.below(100) < scale.timed_percent;
+
+    std::string text = response ? "When " : "If ";
+    for (std::size_t k = 0; k < k_in; ++k) {
+      const PropPhrase& in = take_input();
+      if (k > 0) text += ", and ";
+      text += in.determiner_noun + " is " + in.verb;
+    }
+    text += ", ";
+
+    for (std::size_t k = 0; k < k_out; ++k) {
+      std::size_t oi = take_output(/*allow_negative_slot=*/true);
+      const bool negative = oi >= negative_only;
+      if (k > 0) text += " and ";
+      if (k == 0 && response) text += "eventually ";
+      text += outputs[oi].determiner_noun + " is " +
+              (negative ? "not " : "") + outputs[oi].verb;
+    }
+    if (timed) {
+      text += " in " +
+              std::to_string(deadlines[rng.below(deadlines.size())]) +
+              " seconds";
+    }
+    text += ".";
+    spec.push_back({scale.name + "-" + std::to_string(f + 1), text});
+  }
+  return spec;
+}
+
+}  // namespace speccc::corpus

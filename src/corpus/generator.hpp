@@ -1,0 +1,60 @@
+// Seeded structured-English specification generator.
+//
+// The paper evaluates 13 CARA component specifications and 5 TELEPROMISE
+// application specifications whose texts are not publicly archived; Table I
+// only reports their scale (#formulas, #inputs, #outputs). This generator
+// reproduces that scale exactly: given a target (F, I, O) and a vocabulary
+// theme it emits F grammatical requirement sentences that translate to
+// exactly I input propositions and O output propositions under the
+// Section IV-F partition heuristics.
+//
+// Construction invariants:
+//   * input propositions appear only in antecedents (passive sensor events:
+//     "the order button is pressed");
+//   * output propositions appear in consequents (and sometimes antecedents,
+//     exercising the conflict-resolution rule, which keeps them outputs);
+//   * consequents are positive except for dedicated negative-only outputs,
+//     so every generated specification is realizable by construction;
+//   * a configurable fraction of requirements are response ("eventually")
+//     or timed ("in N seconds") obligations, driving the Buechi/monitor
+//     machinery exactly like the paper's expensive rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "translate/translator.hpp"
+
+namespace speccc::corpus {
+
+struct Theme {
+  /// Nouns combined pairwise into distinct noun phrases.
+  std::vector<std::string> nouns;
+  /// Past participles for input events ("pressed", "received", ...).
+  std::vector<std::string> input_verbs;
+  /// Past participles for output actions ("displayed", "triggered", ...).
+  std::vector<std::string> output_verbs;
+};
+
+/// A generic embedded-controller theme and a web-application theme.
+[[nodiscard]] Theme device_theme();
+[[nodiscard]] Theme application_theme();
+
+struct SpecScale {
+  std::string name;
+  int formulas = 0;
+  int inputs = 0;
+  int outputs = 0;
+  std::uint64_t seed = 1;
+  /// Fraction (percent) of requirements carrying an F obligation.
+  unsigned response_percent = 10;
+  /// Fraction (percent) of requirements carrying an "in N seconds" deadline.
+  unsigned timed_percent = 10;
+};
+
+/// Generate a specification at exactly the given scale.
+[[nodiscard]] std::vector<translate::RequirementText> generate_spec(
+    const SpecScale& scale, const Theme& theme);
+
+}  // namespace speccc::corpus

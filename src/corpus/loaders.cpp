@@ -1,0 +1,81 @@
+#include "corpus/loaders.hpp"
+
+#include <string>
+
+#include "util/diagnostics.hpp"
+#include "util/strings.hpp"
+
+namespace speccc::corpus {
+
+std::vector<translate::RequirementText> load_requirements(std::istream& in) {
+  std::vector<translate::RequirementText> out;
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Optional "id: sentence" prefix: an identifier before the first colon
+    // with no spaces.
+    const std::size_t colon = trimmed.find(':');
+    if (colon != std::string_view::npos && colon > 0 &&
+        trimmed.substr(0, colon).find(' ') == std::string_view::npos) {
+      const std::string_view body = util::trim(trimmed.substr(colon + 1));
+      if (body.empty()) {
+        throw util::ParseError("requirement line " + std::to_string(number) +
+                               " has an id but no sentence");
+      }
+      out.push_back({std::string(trimmed.substr(0, colon)), std::string(body)});
+    } else {
+      out.push_back({"L" + std::to_string(number), std::string(trimmed)});
+    }
+  }
+  return out;
+}
+
+void load_lexicon(std::istream& in, nlp::Lexicon& lexicon) {
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = util::split(trimmed, ' ');
+    if (parts.size() != 2) {
+      throw util::ParseError("lexicon line " + std::to_string(number) +
+                             ": expected 'word pos'");
+    }
+    const std::string& word = parts[0];
+    const std::string& pos = parts[1];
+    if (pos == "noun") {
+      lexicon.add(word, nlp::Pos::kNoun);
+    } else if (pos == "verb") {
+      lexicon.add_verb(word);
+    } else if (pos == "adjective") {
+      lexicon.add(word, nlp::Pos::kAdjective);
+    } else if (pos == "adverb") {
+      lexicon.add(word, nlp::Pos::kAdverb);
+    } else {
+      throw util::ParseError("lexicon line " + std::to_string(number) +
+                             ": unknown part of speech '" + pos + "'");
+    }
+  }
+}
+
+void load_antonyms(std::istream& in, semantics::AntonymDictionary& dictionary) {
+  std::string line;
+  std::size_t number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = util::split(trimmed, ' ');
+    if (parts.size() != 2) {
+      throw util::ParseError("antonym line " + std::to_string(number) +
+                             ": expected 'positive negative'");
+    }
+    dictionary.add_pair(parts[0], parts[1]);
+  }
+}
+
+}  // namespace speccc::corpus

@@ -1,0 +1,36 @@
+// Text-format loaders so downstream users can extend the vocabulary and
+// check their own requirement documents without recompiling.
+//
+// Requirement files: one requirement sentence per line; blank lines and
+// lines starting with '#' are ignored. A line of the form "id: sentence"
+// sets an explicit identifier, otherwise "L<line-number>" is used.
+//
+// Lexicon extension files: lines "word <pos>" with pos in {noun, verb,
+// adjective, adverb}; verbs register a lemma (inflections come from
+// morphology).
+//
+// Antonym dictionary files: lines "positive negative".
+#pragma once
+
+#include <istream>
+#include <vector>
+
+#include "nlp/lexicon.hpp"
+#include "semantics/antonyms.hpp"
+#include "translate/translator.hpp"
+
+namespace speccc::corpus {
+
+/// Parse a requirement document. Throws util::ParseError on malformed lines.
+[[nodiscard]] std::vector<translate::RequirementText> load_requirements(
+    std::istream& in);
+
+/// Extend a lexicon from a word list. Throws util::ParseError on unknown
+/// part-of-speech tags.
+void load_lexicon(std::istream& in, nlp::Lexicon& lexicon);
+
+/// Extend an antonym dictionary from pair lines. Propagates
+/// util::InvalidInputError on contradictory polarities.
+void load_antonyms(std::istream& in, semantics::AntonymDictionary& dictionary);
+
+}  // namespace speccc::corpus

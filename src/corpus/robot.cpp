@@ -1,0 +1,101 @@
+#include "corpus/robot.hpp"
+
+#include <cctype>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::corpus {
+
+namespace {
+
+std::string subject(int robots, int robot) {
+  return robots == 1 ? "the robot" : "robot " + std::to_string(robot);
+}
+
+std::string room(int i) { return "room " + std::to_string(i); }
+
+}  // namespace
+
+RobotSpec robot_spec(int robots, int rooms) {
+  speccc_check(robots == 1 || robots == 2, "one or two robots");
+  speccc_check(rooms >= 2, "at least two rooms");
+
+  RobotSpec spec;
+  spec.robots = robots;
+  spec.rooms = rooms;
+  spec.name = (robots == 1 ? "A robot with " : "Two robots with ") +
+              std::to_string(rooms) + " rooms";
+
+  int id = 0;
+  const auto add = [&spec, &id](const std::string& text) {
+    spec.requirements.push_back({"Robot-" + std::to_string(++id), text});
+  };
+
+  // Movement on a ring of rooms: stay or advance.
+  for (int r = 1; r <= robots; ++r) {
+    for (int i = 1; i <= rooms; ++i) {
+      const int succ = i % rooms + 1;
+      add("If " + subject(robots, r) + " is in " + room(i) + ", next " +
+          subject(robots, r) + " is in " + room(i) + " or " + room(succ) + ".");
+    }
+  }
+  // Mutual exclusion (two robots only): "two robots cannot be in the same
+  // room at the same time".
+  if (robots == 2) {
+    for (int i = 1; i <= rooms; ++i) {
+      add("If robot 1 is in " + room(i) + ", robot 2 is not in " + room(i) + ".");
+    }
+  }
+  // Aliveness: each robot is somewhere.
+  for (int r = 1; r <= robots; ++r) {
+    std::string text = subject(robots, r) + " is in " + room(1);
+    // Capitalize the sentence start.
+    text[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(text[0])));
+    for (int i = 2; i <= rooms; ++i) text += " or " + room(i);
+    add(text + ".");
+  }
+  // Search and rescue.
+  add("If the injured person is visible, eventually the injured person is "
+      "carried.");
+  add("When the injured person is carried, eventually " + subject(robots, 1) +
+      " is in " + room(1) + ".");
+  add("If the medic is ready, eventually " + subject(robots, 1) + " is in " +
+      room(2) + ".");
+  if (robots == 1) {
+    // One patrol existence obligation (the farthest room).
+    add("Eventually the robot is in " + room(rooms > 2 ? 3 : 2) + ".");
+  } else {
+    // Robot 2 must eventually visit every room.
+    for (int i = 1; i <= rooms; ++i) {
+      add("Eventually robot 2 is in " + room(i) + ".");
+    }
+  }
+  return spec;
+}
+
+std::vector<RobotSpec> robot_specs() {
+  std::vector<RobotSpec> out;
+  RobotSpec a = robot_spec(1, 4);
+  a.table_formulas = 9;
+  a.table_inputs = 2;
+  a.table_outputs = 5;
+  a.table_seconds = 1.0;
+  out.push_back(std::move(a));
+
+  RobotSpec b = robot_spec(1, 9);
+  b.table_formulas = 14;
+  b.table_inputs = 2;
+  b.table_outputs = 10;
+  b.table_seconds = 1.0;
+  out.push_back(std::move(b));
+
+  RobotSpec c = robot_spec(2, 5);
+  c.table_formulas = 25;
+  c.table_inputs = 2;
+  c.table_outputs = 11;
+  c.table_seconds = 7.0;
+  out.push_back(std::move(c));
+  return out;
+}
+
+}  // namespace speccc::corpus

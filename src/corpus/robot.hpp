@@ -1,0 +1,40 @@
+// The rescue-robot scenario (paper Section VI, third case study), modified
+// from Kress-Gazit et al. [10]: robots patrol a row of rooms, search for an
+// injured person, and deliver them to a medic, with the constraint that two
+// robots cannot be in the same room at the same time.
+//
+// Generated at the three Table I scales:
+//   1 robot / 4 rooms   ->  9 formulas, 2 in,  5 out
+//   1 robot / 9 rooms   -> 14 formulas, 2 in, 10 out
+//   2 robots / 5 rooms  -> 25 formulas, 2 in, 11 out
+//
+// Unlike the CARA corpus this one is translated in strict Next mode: the
+// movement requirements ("next the robot is in room i or room i+1") encode
+// the room-graph dynamics with a real X operator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "translate/translator.hpp"
+
+namespace speccc::corpus {
+
+struct RobotSpec {
+  std::string name;
+  int robots = 0;
+  int rooms = 0;
+  std::vector<translate::RequirementText> requirements;
+  int table_formulas = 0;
+  int table_inputs = 0;
+  int table_outputs = 0;
+  double table_seconds = 0.0;
+};
+
+/// One scenario. rooms >= 2; robots in {1, 2}.
+[[nodiscard]] RobotSpec robot_spec(int robots, int rooms);
+
+/// The three Table I rows.
+[[nodiscard]] std::vector<RobotSpec> robot_specs();
+
+}  // namespace speccc::corpus

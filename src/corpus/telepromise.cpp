@@ -1,0 +1,111 @@
+#include "corpus/telepromise.hpp"
+
+#include "corpus/generator.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::corpus {
+
+namespace {
+
+/// Append the partition trap: a status proposition occurring only in
+/// antecedents (hence classified input) that the system must actually
+/// control for the specification to be realizable.
+///
+/// Adds 3 requirements, 2 heuristic-inputs (the trap variable + one fresh
+/// button) and 2 outputs. The trap variable appears in two antecedents so
+/// the refiner's occurrence ranking targets it first.
+void append_trap(std::vector<translate::RequirementText>& spec,
+                 const std::string& name, const std::string& trap_subject,
+                 const std::string& button, const std::string& out_a,
+                 const std::string& out_b) {
+  spec.push_back({name + "-trap-1", "If the " + trap_subject +
+                                        " is active, the " + out_a +
+                                        " is stored."});
+  spec.push_back({name + "-trap-2", "If the " + trap_subject +
+                                        " is active, the " + out_b +
+                                        " is displayed."});
+  spec.push_back({name + "-trap-3", "If the " + button +
+                                        " is pressed, the " + out_a +
+                                        " is not stored."});
+}
+
+}  // namespace
+
+std::vector<TeleSpec> telepromise_specs() {
+  std::vector<TeleSpec> out;
+  const Theme theme = application_theme();
+
+  // Published Table I scales: name, formulas, in, out, seconds.
+  // Shopping 29/11/24 (8s), Article processing 17/3/13 (1s),
+  // On-line reservation 6/3/4 (1s), Information 15/8/14 (1s),
+  // Local bulletin board 17/7/16 (1s).
+  {
+    TeleSpec s;
+    s.name = "Shopping";
+    s.table_formulas = 29;
+    s.table_inputs = 11;
+    s.table_outputs = 24;
+    s.table_seconds = 8.0;
+    SpecScale scale{"TELE-Shop", 29, 11, 24, /*seed=*/101,
+                    /*response_percent=*/25, /*timed_percent=*/15};
+    s.requirements = generate_spec(scale, theme);
+    out.push_back(std::move(s));
+  }
+  {
+    TeleSpec s;
+    s.name = "Article processing";
+    s.table_formulas = 17;
+    s.table_inputs = 3;
+    s.table_outputs = 13;
+    s.table_seconds = 1.0;
+    SpecScale scale{"TELE-Article", 17, 3, 13, 102, 10, 10};
+    s.requirements = generate_spec(scale, theme);
+    out.push_back(std::move(s));
+  }
+  {
+    TeleSpec s;
+    s.name = "On-line reservation";
+    s.table_formulas = 6;
+    s.table_inputs = 3;
+    s.table_outputs = 4;
+    s.table_seconds = 1.0;
+    SpecScale scale{"TELE-Reserve", 6, 3, 4, 103, 15, 15};
+    s.requirements = generate_spec(scale, theme);
+    out.push_back(std::move(s));
+  }
+  {
+    // Partition trap: generator covers 15-3 = 12 formulas, 8-1 = 7 inputs,
+    // 14-3 = 11 outputs; the trap adds 3 formulas, inputs {session(trap),
+    // reset button} and outputs {draft archive, editor panel}. After the
+    // refinement flip the final partition matches the published 8/14.
+    TeleSpec s;
+    s.name = "Information";
+    s.table_formulas = 15;
+    s.table_inputs = 8;
+    s.table_outputs = 14;
+    s.table_seconds = 1.0;
+    s.partition_trap = true;
+    SpecScale scale{"TELE-Info", 12, 7, 11, 104, 10, 10};
+    s.requirements = generate_spec(scale, theme);
+    append_trap(s.requirements, "TELE-Info", "session", "reset button",
+                "draft archive", "editor panel");
+    out.push_back(std::move(s));
+  }
+  {
+    TeleSpec s;
+    s.name = "Local bulletin board";
+    s.table_formulas = 17;
+    s.table_inputs = 7;
+    s.table_outputs = 16;
+    s.table_seconds = 1.0;
+    s.partition_trap = true;
+    SpecScale scale{"TELE-Board", 14, 6, 13, 105, 10, 10};
+    s.requirements = generate_spec(scale, theme);
+    append_trap(s.requirements, "TELE-Board", "channel", "moderator button",
+                "posting ledger", "board banner");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace speccc::corpus

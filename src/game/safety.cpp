@@ -1,0 +1,70 @@
+#include "game/safety.hpp"
+
+#include <algorithm>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::game {
+
+SafetyResult solve(const Arena& arena) {
+  const std::size_t n = arena.size();
+  speccc_check(arena.owner.size() == n && arena.moves.size() == n &&
+                   arena.dead.size() == n,
+               "inconsistent arena");
+
+  // Deduplicate move targets so the escape counters stay accurate.
+  std::vector<std::vector<int>> moves(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    moves[p] = arena.moves[p];
+    std::sort(moves[p].begin(), moves[p].end());
+    moves[p].erase(std::unique(moves[p].begin(), moves[p].end()), moves[p].end());
+  }
+
+  std::vector<std::vector<int>> preds(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (int q : moves[p]) {
+      preds[static_cast<std::size_t>(q)].push_back(static_cast<int>(p));
+    }
+  }
+
+  std::vector<bool> lost(n, false);
+  std::vector<std::size_t> safe_escapes(n, 0);
+  std::vector<int> work;
+
+  for (std::size_t p = 0; p < n; ++p) {
+    safe_escapes[p] = moves[p].size();
+    if (arena.dead[p]) {
+      lost[p] = true;
+      work.push_back(static_cast<int>(p));
+    } else if (arena.owner[p] == Owner::kSafe && moves[p].empty()) {
+      lost[p] = true;  // stuck SAFE player
+      work.push_back(static_cast<int>(p));
+    }
+  }
+
+  while (!work.empty()) {
+    const int q = work.back();
+    work.pop_back();
+    for (int p : preds[static_cast<std::size_t>(q)]) {
+      const auto pi = static_cast<std::size_t>(p);
+      if (lost[pi]) continue;
+      if (arena.owner[pi] == Owner::kReach) {
+        lost[pi] = true;  // REACH picks the move into the attractor
+        work.push_back(p);
+      } else {
+        speccc_check(safe_escapes[pi] > 0, "escape counter underflow");
+        if (--safe_escapes[pi] == 0) {
+          lost[pi] = true;  // every SAFE move falls into the attractor
+          work.push_back(p);
+        }
+      }
+    }
+  }
+
+  SafetyResult out;
+  out.safe_wins.resize(n);
+  for (std::size_t p = 0; p < n; ++p) out.safe_wins[p] = !lost[p];
+  return out;
+}
+
+}  // namespace speccc::game

@@ -1,0 +1,50 @@
+// Explicit two-player safety games.
+//
+// Used by the bounded-synthesis engine (paper Section V-A): positions carry
+// counter functions over the UCW; the SAFE player tries to keep every
+// counter bounded forever, the REACH player tries to drive the play into a
+// dead (overflow) position.
+//
+// Both the primal game (system = SAFE, moving second within a step) and the
+// dual game for unrealizability (environment = SAFE, moving first) map onto
+// this arena; the builder just assigns owners accordingly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace speccc::game {
+
+enum class Owner : std::uint8_t { kSafe, kReach };
+
+struct Arena {
+  std::vector<Owner> owner;              // per position
+  std::vector<std::vector<int>> moves;   // per position
+  std::vector<bool> dead;                // REACH wins if the play gets here
+  int initial = 0;
+
+  int add_position(Owner o, bool is_dead = false) {
+    owner.push_back(o);
+    moves.emplace_back();
+    dead.push_back(is_dead);
+    return static_cast<int>(owner.size()) - 1;
+  }
+  void add_move(int from, int to) { moves[static_cast<std::size_t>(from)].push_back(to); }
+  [[nodiscard]] std::size_t size() const { return owner.size(); }
+};
+
+struct SafetyResult {
+  /// Positions from which the SAFE player avoids dead positions forever.
+  /// A position with no moves loses for its owner (a stuck SAFE player has
+  /// no safe continuation; a stuck REACH player can no longer do harm).
+  std::vector<bool> safe_wins;
+
+  [[nodiscard]] bool initial_safe(const Arena& arena) const {
+    return safe_wins[static_cast<std::size_t>(arena.initial)];
+  }
+};
+
+/// Backward-attractor solution, linear in the number of moves.
+[[nodiscard]] SafetyResult solve(const Arena& arena);
+
+}  // namespace speccc::game

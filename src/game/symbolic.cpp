@@ -1,0 +1,84 @@
+#include "game/symbolic.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::game {
+
+bdd::Bdd apply_transition(const SymbolicGame& game, bdd::Bdd target) {
+  bdd::Manager& mgr = *game.manager;
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  for (std::size_t b = 0; b < game.state_vars.size(); ++b) {
+    map[static_cast<std::size_t>(game.state_vars[b])] = game.next_state[b];
+  }
+  return mgr.vector_compose(target, map);
+}
+
+bdd::Bdd cpre(const SymbolicGame& game, bdd::Bdd target) {
+  bdd::Manager& mgr = *game.manager;
+  const bdd::Bdd step = mgr.bdd_and(game.safe, apply_transition(game, target));
+  const bdd::Bdd sys_can = mgr.exists(step, game.output_vars);
+  return mgr.forall(sys_can, game.input_vars);
+}
+
+SymbolicSolution solve(const SymbolicGame& game) {
+  speccc_check(game.manager != nullptr, "game needs a manager");
+  speccc_check(game.next_state.size() == game.state_vars.size(),
+               "one transition function per state variable");
+  bdd::Manager& mgr = *game.manager;
+
+  SymbolicSolution solution;
+  bdd::Bdd z = mgr.bdd_true();
+
+  // Pure safety: nu Z. CPre(Z).
+  if (game.buchi.empty()) {
+    for (;;) {
+      ++solution.iterations;
+      const bdd::Bdd next = cpre(game, z);
+      // CPre is monotone and we start at true, so the sequence decreases.
+      const bdd::Bdd capped = mgr.bdd_and(z, next);
+      if (capped == z) break;
+      z = capped;
+    }
+    solution.winning = z;
+    solution.stages = {};
+    solution.step_constraint = mgr.bdd_and(game.safe, apply_transition(game, z));
+    solution.realizable = mgr.bdd_and(game.initial, z) != mgr.bdd_false();
+    return solution;
+  }
+
+  // Generalized Buechi: nu Z. AND_j mu Y. CPre((F_j and CPre(Z)) or Y).
+  // We keep the final mu stages for strategy extraction.
+  for (;;) {
+    ++solution.iterations;
+    bdd::Bdd conj = mgr.bdd_true();
+    std::vector<std::vector<bdd::Bdd>> stages;
+    const bdd::Bdd cpre_z = cpre(game, z);
+    for (const bdd::Bdd& f : game.buchi) {
+      // mu Y. CPre((F_j and CPre(Z)) or Y): the set from which the system
+      // can force a visit to F_j (while being able to continue inside Z).
+      const bdd::Bdd target = mgr.bdd_and(f, cpre_z);
+      std::vector<bdd::Bdd> mu_stages;
+      bdd::Bdd y = mgr.bdd_false();
+      for (;;) {
+        const bdd::Bdd next = mgr.bdd_or(target, cpre(game, y));
+        if (next == y) break;
+        mu_stages.push_back(next);
+        y = next;
+      }
+      conj = mgr.bdd_and(conj, y);
+      stages.push_back(std::move(mu_stages));
+    }
+    if (conj == z) {
+      solution.stages = std::move(stages);
+      break;
+    }
+    z = conj;
+  }
+
+  solution.winning = z;
+  solution.step_constraint = mgr.bdd_and(game.safe, apply_transition(game, z));
+  solution.realizable = mgr.bdd_and(game.initial, z) != mgr.bdd_false();
+  return solution;
+}
+
+}  // namespace speccc::game

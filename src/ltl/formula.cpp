@@ -1,0 +1,423 @@
+#include "ltl/formula.hpp"
+
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::ltl {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kTrue: return "true";
+    case Op::kFalse: return "false";
+    case Op::kAp: return "ap";
+    case Op::kNot: return "not";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kImplies: return "implies";
+    case Op::kIff: return "iff";
+    case Op::kNext: return "next";
+    case Op::kEventually: return "eventually";
+    case Op::kAlways: return "always";
+    case Op::kUntil: return "until";
+    case Op::kWeakUntil: return "weak_until";
+    case Op::kRelease: return "release";
+  }
+  return "?";
+}
+
+bool is_temporal(Op op) {
+  switch (op) {
+    case Op::kNext:
+    case Op::kEventually:
+    case Op::kAlways:
+    case Op::kUntil:
+    case Op::kWeakUntil:
+    case Op::kRelease:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+std::size_t combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+struct NodeKey {
+  Op op;
+  std::string ap_name;
+  std::vector<const detail::Node*> children;
+
+  bool operator==(const NodeKey& other) const = default;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.op);
+    h = combine(h, std::hash<std::string>{}(k.ap_name));
+    for (const auto* c : k.children) {
+      h = combine(h, std::hash<const void*>{}(c));
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+/// Process-wide intern arena. Nodes are kept alive for the lifetime of the
+/// process; formulas are small and specifications are bounded, so this is a
+/// deliberate leak-until-exit design (the arena is a Meyers singleton whose
+/// destructor releases everything at shutdown).
+class Arena {
+ public:
+  static Arena& instance() {
+    static Arena arena;
+    return arena;
+  }
+
+  Formula intern(Op op, std::string ap_name, std::vector<Formula> children) {
+    NodeKey key;
+    key.op = op;
+    key.ap_name = ap_name;
+    key.children.reserve(children.size());
+    for (Formula c : children) {
+      speccc_check(!c.is_null(), "child formula must not be null");
+      key.children.push_back(c.node_);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = table_.find(key);
+    if (it != table_.end()) return Formula(it->second);
+
+    auto node = std::make_unique<detail::Node>();
+    node->op = op;
+    node->ap_name = std::move(ap_name);
+    node->children = std::move(children);
+    node->id = next_id_++;
+    node->hash = NodeKeyHash{}(key);
+    node->length = 1;
+    for (Formula c : node->children) node->length += c.length();
+
+    const detail::Node* raw = node.get();
+    nodes_.push_back(std::move(node));
+    table_.emplace(std::move(key), raw);
+    return Formula(raw);
+  }
+
+ private:
+  Arena() = default;
+  std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<detail::Node>> nodes_;
+  std::unordered_map<NodeKey, const detail::Node*, NodeKeyHash> table_;
+};
+
+Op Formula::op() const {
+  speccc_check(node_ != nullptr, "null formula");
+  return node_->op;
+}
+
+const std::string& Formula::ap_name() const {
+  speccc_check(node_ != nullptr && node_->op == Op::kAp,
+               "ap_name on non-proposition");
+  return node_->ap_name;
+}
+
+const std::vector<Formula>& Formula::children() const {
+  speccc_check(node_ != nullptr, "null formula");
+  return node_->children;
+}
+
+Formula Formula::child(std::size_t i) const {
+  const auto& cs = children();
+  speccc_check(i < cs.size(), "child index out of range");
+  return cs[i];
+}
+
+std::size_t Formula::arity() const { return children().size(); }
+
+std::size_t Formula::length() const {
+  speccc_check(node_ != nullptr, "null formula");
+  return node_->length;
+}
+
+std::uint64_t Formula::id() const {
+  speccc_check(node_ != nullptr, "null formula");
+  return node_->id;
+}
+
+std::size_t Formula::hash() const {
+  speccc_check(node_ != nullptr, "null formula");
+  return node_->hash;
+}
+
+std::set<std::string> Formula::atoms() const {
+  std::set<std::string> out;
+  std::vector<Formula> stack{*this};
+  while (!stack.empty()) {
+    Formula f = stack.back();
+    stack.pop_back();
+    if (f.op() == Op::kAp) {
+      out.insert(f.ap_name());
+    } else {
+      for (Formula c : f.children()) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool Formula::is_propositional() const {
+  if (is_temporal(op())) return false;
+  for (Formula c : children()) {
+    if (!c.is_propositional()) return false;
+  }
+  return true;
+}
+
+// ---- Factories --------------------------------------------------------------
+
+Formula tru() { return Arena::instance().intern(Op::kTrue, "", {}); }
+Formula fls() { return Arena::instance().intern(Op::kFalse, "", {}); }
+
+Formula ap(const std::string& name) {
+  speccc_check(!name.empty(), "proposition name must be non-empty");
+  return Arena::instance().intern(Op::kAp, name, {});
+}
+
+Formula lnot(Formula f) {
+  if (f.op() == Op::kTrue) return fls();
+  if (f.op() == Op::kFalse) return tru();
+  if (f.op() == Op::kNot) return f.child(0);  // double negation
+  return Arena::instance().intern(Op::kNot, "", {f});
+}
+
+namespace {
+
+/// Flatten nested n-ary nodes of the same op, fold constants.
+/// `unit` is the neutral element, `zero` the absorbing element.
+Formula nary(Op op, std::vector<Formula> fs, Formula unit, Formula zero) {
+  std::vector<Formula> flat;
+  flat.reserve(fs.size());
+  for (Formula f : fs) {
+    speccc_check(!f.is_null(), "null operand");
+    if (f == zero) return zero;
+    if (f == unit) continue;
+    if (f.op() == op) {
+      for (Formula c : f.children()) flat.push_back(c);
+    } else {
+      flat.push_back(f);
+    }
+  }
+  // Drop exact duplicates while preserving first-occurrence order.
+  std::vector<Formula> dedup;
+  for (Formula f : flat) {
+    bool seen = false;
+    for (Formula g : dedup) {
+      if (f == g) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) dedup.push_back(f);
+  }
+  if (dedup.empty()) return unit;
+  if (dedup.size() == 1) return dedup.front();
+  return Arena::instance().intern(op, "", std::move(dedup));
+}
+
+}  // namespace
+
+Formula land(std::vector<Formula> fs) { return nary(Op::kAnd, std::move(fs), tru(), fls()); }
+Formula land(Formula a, Formula b) { return land(std::vector<Formula>{a, b}); }
+Formula lor(std::vector<Formula> fs) { return nary(Op::kOr, std::move(fs), fls(), tru()); }
+Formula lor(Formula a, Formula b) { return lor(std::vector<Formula>{a, b}); }
+
+Formula implies(Formula a, Formula b) {
+  if (a.op() == Op::kTrue) return b;
+  if (a.op() == Op::kFalse) return tru();
+  if (b.op() == Op::kTrue) return tru();
+  return Arena::instance().intern(Op::kImplies, "", {a, b});
+}
+
+Formula iff(Formula a, Formula b) {
+  if (a == b) return tru();
+  return Arena::instance().intern(Op::kIff, "", {a, b});
+}
+
+Formula next(Formula f) { return Arena::instance().intern(Op::kNext, "", {f}); }
+
+Formula next_n(Formula f, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) f = next(f);
+  return f;
+}
+
+Formula eventually(Formula f) {
+  if (f.op() == Op::kEventually) return f;  // FF phi == F phi
+  if (f.op() == Op::kTrue || f.op() == Op::kFalse) return f;
+  return Arena::instance().intern(Op::kEventually, "", {f});
+}
+
+Formula always(Formula f) {
+  if (f.op() == Op::kAlways) return f;  // GG phi == G phi
+  if (f.op() == Op::kTrue || f.op() == Op::kFalse) return f;
+  return Arena::instance().intern(Op::kAlways, "", {f});
+}
+
+Formula until(Formula a, Formula b) {
+  if (b.op() == Op::kTrue || b.op() == Op::kFalse) return b;
+  if (a.op() == Op::kFalse) return b;
+  return Arena::instance().intern(Op::kUntil, "", {a, b});
+}
+
+Formula weak_until(Formula a, Formula b) {
+  if (a.op() == Op::kTrue) return tru();
+  if (b.op() == Op::kTrue) return tru();
+  if (a.op() == Op::kFalse) return b;
+  return Arena::instance().intern(Op::kWeakUntil, "", {a, b});
+}
+
+Formula release(Formula a, Formula b) {
+  if (b.op() == Op::kTrue || b.op() == Op::kFalse) return b;
+  if (a.op() == Op::kTrue) return b;
+  return Arena::instance().intern(Op::kRelease, "", {a, b});
+}
+
+// ---- Printing ---------------------------------------------------------------
+
+namespace {
+
+struct Symbols {
+  const char* tru;
+  const char* fls;
+  const char* nt;
+  const char* an;
+  const char* orr;
+  const char* imp;
+  const char* iff;
+  const char* nxt;
+  const char* ev;
+  const char* alw;
+  const char* until;
+  const char* wuntil;
+  const char* release;
+};
+
+constexpr Symbols kAsciiSyms{"true", "false", "!",  "&&", "||", "->",
+                             "<->",  "X",     "F",  "G",  "U",  "W",
+                             "R"};
+constexpr Symbols kPaperSyms{"true", "false", "¬", "&&", "||",
+                             "→", "↔", "X", "♦", "□",
+                             "U", "W", "R"};
+
+// Precedence, higher binds tighter.
+int precedence(Op op) {
+  switch (op) {
+    case Op::kIff: return 1;
+    case Op::kImplies: return 2;
+    case Op::kUntil:
+    case Op::kWeakUntil:
+    case Op::kRelease: return 3;
+    case Op::kOr: return 4;
+    case Op::kAnd: return 5;
+    default: return 6;  // unary and atoms
+  }
+}
+
+void print(std::ostream& os, Formula f, const Symbols& sym, int parent_prec) {
+  const int prec = precedence(f.op());
+  const bool need_parens = prec < parent_prec;
+  if (need_parens) os << '(';
+  switch (f.op()) {
+    case Op::kTrue: os << sym.tru; break;
+    case Op::kFalse: os << sym.fls; break;
+    case Op::kAp: os << f.ap_name(); break;
+    case Op::kNot: {
+      os << sym.nt;
+      Formula c = f.child(0);
+      const bool bare = c.arity() == 0 || c.op() == Op::kNot ||
+                        c.op() == Op::kNext || c.op() == Op::kEventually ||
+                        c.op() == Op::kAlways;
+      if (bare) {
+        print(os, c, sym, 0);
+      } else {
+        os << '(';
+        print(os, c, sym, 0);
+        os << ')';
+      }
+      break;
+    }
+    case Op::kAnd:
+    case Op::kOr: {
+      const char* s = f.op() == Op::kAnd ? sym.an : sym.orr;
+      for (std::size_t i = 0; i < f.arity(); ++i) {
+        if (i > 0) os << ' ' << s << ' ';
+        print(os, f.child(i), sym, prec + 1);
+      }
+      break;
+    }
+    case Op::kImplies:
+    case Op::kIff: {
+      const char* s = f.op() == Op::kImplies ? sym.imp : sym.iff;
+      print(os, f.child(0), sym, prec + 1);
+      os << ' ' << s << ' ';
+      print(os, f.child(1), sym, prec);  // right associative
+      break;
+    }
+    case Op::kUntil:
+    case Op::kWeakUntil:
+    case Op::kRelease: {
+      const char* s = f.op() == Op::kUntil     ? sym.until
+                      : f.op() == Op::kWeakUntil ? sym.wuntil
+                                                 : sym.release;
+      print(os, f.child(0), sym, prec + 1);
+      os << ' ' << s << ' ';
+      print(os, f.child(1), sym, prec + 1);
+      break;
+    }
+    case Op::kNext:
+    case Op::kEventually:
+    case Op::kAlways: {
+      const char* s = f.op() == Op::kNext        ? sym.nxt
+                      : f.op() == Op::kEventually ? sym.ev
+                                                  : sym.alw;
+      os << s << ' ';
+      // Unary temporal operators parenthesize everything except atoms and
+      // chained unary operators: "G (a -> b)", "X X c", "F !p".
+      Formula c = f.child(0);
+      const bool bare = c.arity() == 0 || c.op() == Op::kNot ||
+                        c.op() == Op::kNext || c.op() == Op::kEventually ||
+                        c.op() == Op::kAlways;
+      if (bare) {
+        print(os, c, sym, 0);
+      } else {
+        os << '(';
+        print(os, c, sym, 0);
+        os << ')';
+      }
+      break;
+    }
+  }
+  if (need_parens) os << ')';
+}
+
+}  // namespace
+
+std::string to_string(Formula f, Style style) {
+  speccc_check(!f.is_null(), "cannot print a null formula");
+  std::ostringstream os;
+  print(os, f, style == Style::kAscii ? kAsciiSyms : kPaperSyms, 0);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, Formula f) {
+  return os << to_string(f);
+}
+
+}  // namespace speccc::ltl

@@ -1,0 +1,204 @@
+#include "ltl/parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::ltl {
+
+namespace {
+
+enum class TokKind {
+  kAtom, kTrue, kFalse,
+  kNot, kAnd, kOr, kImplies, kIff,
+  kNext, kEventually, kAlways, kUntil, kWeakUntil, kRelease,
+  kLParen, kRParen, kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space();
+      if (pos_ >= text_.size()) break;
+      const std::size_t start = pos_;
+      const char c = text_[pos_];
+      if (c == '(') { out.push_back({TokKind::kLParen, "(", start}); ++pos_; continue; }
+      if (c == ')') { out.push_back({TokKind::kRParen, ")", start}); ++pos_; continue; }
+      if (c == '!') { out.push_back({TokKind::kNot, "!", start}); ++pos_; continue; }
+      if (c == '&') { expect2('&'); out.push_back({TokKind::kAnd, "&&", start}); continue; }
+      if (c == '|') { expect2('|'); out.push_back({TokKind::kOr, "||", start}); continue; }
+      if (c == '-') {
+        ++pos_;
+        if (pos_ >= text_.size() || text_[pos_] != '>') fail(start, "expected '->'");
+        ++pos_;
+        out.push_back({TokKind::kImplies, "->", start});
+        continue;
+      }
+      if (c == '<') {
+        if (pos_ + 2 >= text_.size() || text_[pos_ + 1] != '-' || text_[pos_ + 2] != '>')
+          fail(start, "expected '<->'");
+        pos_ += 3;
+        out.push_back({TokKind::kIff, "<->", start});
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        std::string word;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+                text_[pos_] == '_')) {
+          word.push_back(text_[pos_++]);
+        }
+        out.push_back({classify(word), word, start});
+        continue;
+      }
+      fail(start, std::string("unexpected character '") + c + "'");
+    }
+    out.push_back({TokKind::kEnd, "", text_.size()});
+    return out;
+  }
+
+ private:
+  static TokKind classify(const std::string& word) {
+    if (word == "true") return TokKind::kTrue;
+    if (word == "false") return TokKind::kFalse;
+    if (word == "X") return TokKind::kNext;
+    if (word == "F") return TokKind::kEventually;
+    if (word == "G") return TokKind::kAlways;
+    if (word == "U") return TokKind::kUntil;
+    if (word == "W") return TokKind::kWeakUntil;
+    if (word == "R") return TokKind::kRelease;
+    return TokKind::kAtom;
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  void expect2(char c) {
+    if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != c)
+      fail(pos_, std::string("expected '") + c + c + "'");
+    pos_ += 2;
+  }
+
+  [[noreturn]] void fail(std::size_t pos, const std::string& message) {
+    std::ostringstream os;
+    os << "LTL parse error at offset " << pos << ": " << message;
+    throw util::ParseError(os.str());
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Formula run() {
+    Formula f = parse_iff();
+    expect(TokKind::kEnd, "end of input");
+    return f;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token advance() { return tokens_[index_++]; }
+
+  bool accept(TokKind kind) {
+    if (peek().kind == kind) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(TokKind kind, const char* what) {
+    if (!accept(kind)) {
+      std::ostringstream os;
+      os << "LTL parse error at offset " << peek().pos << ": expected " << what
+         << ", found '" << peek().text << "'";
+      throw util::ParseError(os.str());
+    }
+  }
+
+  Formula parse_iff() {
+    Formula lhs = parse_implies();
+    if (accept(TokKind::kIff)) return iff(lhs, parse_iff());
+    return lhs;
+  }
+
+  Formula parse_implies() {
+    Formula lhs = parse_binary_temporal();
+    if (accept(TokKind::kImplies)) return implies(lhs, parse_implies());
+    return lhs;
+  }
+
+  Formula parse_binary_temporal() {
+    Formula lhs = parse_or();
+    if (accept(TokKind::kUntil)) return until(lhs, parse_binary_temporal());
+    if (accept(TokKind::kWeakUntil)) return weak_until(lhs, parse_binary_temporal());
+    if (accept(TokKind::kRelease)) return release(lhs, parse_binary_temporal());
+    return lhs;
+  }
+
+  Formula parse_or() {
+    std::vector<Formula> parts{parse_and()};
+    while (accept(TokKind::kOr)) parts.push_back(parse_and());
+    return parts.size() == 1 ? parts.front() : lor(std::move(parts));
+  }
+
+  Formula parse_and() {
+    std::vector<Formula> parts{parse_unary()};
+    while (accept(TokKind::kAnd)) parts.push_back(parse_unary());
+    return parts.size() == 1 ? parts.front() : land(std::move(parts));
+  }
+
+  Formula parse_unary() {
+    if (accept(TokKind::kNot)) return lnot(parse_unary());
+    if (accept(TokKind::kNext)) return next(parse_unary());
+    if (accept(TokKind::kEventually)) return eventually(parse_unary());
+    if (accept(TokKind::kAlways)) return always(parse_unary());
+    return parse_atom();
+  }
+
+  Formula parse_atom() {
+    if (accept(TokKind::kTrue)) return tru();
+    if (accept(TokKind::kFalse)) return fls();
+    if (peek().kind == TokKind::kAtom) return ap(advance().text);
+    if (accept(TokKind::kLParen)) {
+      Formula f = parse_iff();
+      expect(TokKind::kRParen, "')'");
+      return f;
+    }
+    std::ostringstream os;
+    os << "LTL parse error at offset " << peek().pos
+       << ": expected a formula, found '" << peek().text << "'";
+    throw util::ParseError(os.str());
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Formula parse(std::string_view text) {
+  return Parser(Lexer(text).run()).run();
+}
+
+}  // namespace speccc::ltl

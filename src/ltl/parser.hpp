@@ -1,0 +1,22 @@
+// Parser for the ASCII LTL syntax produced by to_string(..., Style::kAscii).
+//
+//   phi ::= phi '<->' phi          (lowest precedence, right assoc)
+//         | phi '->' phi           (right assoc)
+//         | phi ('U'|'W'|'R') phi  (right assoc)
+//         | phi '||' phi
+//         | phi '&&' phi
+//         | '!' phi | 'X' phi | 'F' phi | 'G' phi
+//         | 'true' | 'false' | identifier | '(' phi ')'
+//
+// Throws util::ParseError with position information on malformed input.
+#pragma once
+
+#include <string_view>
+
+#include "ltl/formula.hpp"
+
+namespace speccc::ltl {
+
+[[nodiscard]] Formula parse(std::string_view text);
+
+}  // namespace speccc::ltl

@@ -1,0 +1,70 @@
+// Property-pattern templates (Dwyer et al. [6], Salamah et al. [19]).
+//
+// The paper's translator instantiates the Universality and Existence
+// patterns plus the implication/response shapes that the structured-English
+// subordinators induce. These templates are also what the symbolic synthesis
+// engine recognizes when compiling a specification into deterministic
+// monitors, so they are shared here.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "ltl/formula.hpp"
+
+namespace speccc::ltl {
+
+// ---- Template constructors (used by the translator) ------------------------
+
+/// Universality, global scope: G p.
+[[nodiscard]] Formula universality(Formula p);
+
+/// Existence, global scope: F p.
+[[nodiscard]] Formula existence(Formula p);
+
+/// Immediate implication: G (trigger -> response).
+[[nodiscard]] Formula implication(Formula trigger, Formula response);
+
+/// Delayed implication: G (trigger -> X^n response); Section IV-E's timed
+/// requirements produce this shape.
+[[nodiscard]] Formula delayed_implication(Formula trigger, Formula response,
+                                          std::size_t delay);
+
+/// Response: G (trigger -> F response).
+[[nodiscard]] Formula response(Formula trigger, Formula response);
+
+/// The paper's "until" template (Req-49): once `cond` holds, if `release`
+/// has not happened yet then `hold` persists weakly until `release`:
+/// G (cond -> (!release -> (hold W release))).
+[[nodiscard]] Formula until_template(Formula cond, Formula hold,
+                                     Formula release);
+
+// ---- Pattern recognition (used by the symbolic engine) ---------------------
+
+enum class PatternKind {
+  kInvariant,        // G p                      (safety)
+  kImplication,      // G (g -> X^n c)           (safety; n >= 0)
+  kGuardDelayed,     // G (X^n g -> c)           (safety; n >= 1)
+  kResponse,         // G (g -> F c)             (liveness)
+  kWeakUntil,        // G (g -> (p W q))         (safety)
+  kStrongUntil,      // G (g -> (p U q))         (safety + liveness)
+  kExistence,        // F p                      (liveness)
+};
+
+/// A recognized pattern instance. guard/left/right are propositional.
+struct PatternInstance {
+  PatternKind kind;
+  Formula guard;       // kInvariant/kExistence: the body; otherwise the trigger
+  Formula consequent;  // kImplication: c; kResponse: c; kUntil: the hold part p
+  Formula release;     // kUntil kinds only: q
+  std::size_t delay = 0;  // kImplication only: n
+};
+
+/// Try to recognize `f` as one of the monitorable patterns. Nested
+/// implications in the consequent are normalized into the guard
+/// (g1 -> (g2 -> c) becomes (g1 && g2) -> c). Returns std::nullopt when the
+/// formula falls outside the fragment; callers then fall back to the
+/// general bounded-synthesis engine.
+[[nodiscard]] std::optional<PatternInstance> recognize_pattern(Formula f);
+
+}  // namespace speccc::ltl

@@ -1,0 +1,204 @@
+#include "ltl/rewrite.hpp"
+
+#include <algorithm>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::ltl {
+
+namespace {
+
+Formula nnf_impl(Formula f, bool negate) {
+  switch (f.op()) {
+    case Op::kTrue:
+      return negate ? fls() : tru();
+    case Op::kFalse:
+      return negate ? tru() : fls();
+    case Op::kAp:
+      return negate ? lnot(f) : f;
+    case Op::kNot:
+      return nnf_impl(f.child(0), !negate);
+    case Op::kAnd: {
+      std::vector<Formula> cs;
+      cs.reserve(f.arity());
+      for (Formula c : f.children()) cs.push_back(nnf_impl(c, negate));
+      return negate ? lor(std::move(cs)) : land(std::move(cs));
+    }
+    case Op::kOr: {
+      std::vector<Formula> cs;
+      cs.reserve(f.arity());
+      for (Formula c : f.children()) cs.push_back(nnf_impl(c, negate));
+      return negate ? land(std::move(cs)) : lor(std::move(cs));
+    }
+    case Op::kImplies: {
+      // a -> b == !a || b
+      Formula a = f.child(0);
+      Formula b = f.child(1);
+      if (negate) return land(nnf_impl(a, false), nnf_impl(b, true));
+      return lor(nnf_impl(a, true), nnf_impl(b, false));
+    }
+    case Op::kIff: {
+      // a <-> b == (a && b) || (!a && !b)
+      Formula a = f.child(0);
+      Formula b = f.child(1);
+      Formula both = land(nnf_impl(a, false), nnf_impl(b, false));
+      Formula neither = land(nnf_impl(a, true), nnf_impl(b, true));
+      Formula one = land(nnf_impl(a, false), nnf_impl(b, true));
+      Formula other = land(nnf_impl(a, true), nnf_impl(b, false));
+      return negate ? lor(one, other) : lor(both, neither);
+    }
+    case Op::kNext:
+      return next(nnf_impl(f.child(0), negate));
+    case Op::kEventually:
+      return negate ? always(nnf_impl(f.child(0), true))
+                    : eventually(nnf_impl(f.child(0), false));
+    case Op::kAlways:
+      return negate ? eventually(nnf_impl(f.child(0), true))
+                    : always(nnf_impl(f.child(0), false));
+    case Op::kUntil: {
+      Formula a = f.child(0);
+      Formula b = f.child(1);
+      if (negate) return release(nnf_impl(a, true), nnf_impl(b, true));
+      return until(nnf_impl(a, false), nnf_impl(b, false));
+    }
+    case Op::kRelease: {
+      Formula a = f.child(0);
+      Formula b = f.child(1);
+      if (negate) return until(nnf_impl(a, true), nnf_impl(b, true));
+      return release(nnf_impl(a, false), nnf_impl(b, false));
+    }
+    case Op::kWeakUntil: {
+      // a W b == b R (a || b); !(a W b) == !b U (!a && !b)
+      Formula a = f.child(0);
+      Formula b = f.child(1);
+      if (negate) {
+        return until(nnf_impl(b, true),
+                     land(nnf_impl(a, true), nnf_impl(b, true)));
+      }
+      return release(nnf_impl(b, false),
+                     lor(nnf_impl(a, false), nnf_impl(b, false)));
+    }
+  }
+  speccc_check(false, "unhandled op in nnf");
+  return f;
+}
+
+}  // namespace
+
+Formula nnf(Formula f) { return nnf_impl(f, false); }
+
+Formula eliminate_weak_until(Formula f) {
+  switch (f.op()) {
+    case Op::kTrue:
+    case Op::kFalse:
+    case Op::kAp:
+      return f;
+    case Op::kWeakUntil: {
+      Formula a = eliminate_weak_until(f.child(0));
+      Formula b = eliminate_weak_until(f.child(1));
+      return release(b, lor(a, b));
+    }
+    default: {
+      std::vector<Formula> cs;
+      cs.reserve(f.arity());
+      bool changed = false;
+      for (Formula c : f.children()) {
+        Formula r = eliminate_weak_until(c);
+        changed = changed || r != c;
+        cs.push_back(r);
+      }
+      if (!changed) return f;
+      switch (f.op()) {
+        case Op::kNot: return lnot(cs[0]);
+        case Op::kAnd: return land(std::move(cs));
+        case Op::kOr: return lor(std::move(cs));
+        case Op::kImplies: return implies(cs[0], cs[1]);
+        case Op::kIff: return iff(cs[0], cs[1]);
+        case Op::kNext: return next(cs[0]);
+        case Op::kEventually: return eventually(cs[0]);
+        case Op::kAlways: return always(cs[0]);
+        case Op::kUntil: return until(cs[0], cs[1]);
+        case Op::kRelease: return release(cs[0], cs[1]);
+        default: break;
+      }
+      speccc_check(false, "unhandled op in eliminate_weak_until");
+      return f;
+    }
+  }
+}
+
+Formula substitute(Formula f,
+                   const std::unordered_map<std::string, Formula>& map) {
+  switch (f.op()) {
+    case Op::kTrue:
+    case Op::kFalse:
+      return f;
+    case Op::kAp: {
+      auto it = map.find(f.ap_name());
+      return it == map.end() ? f : it->second;
+    }
+    default: {
+      std::vector<Formula> cs;
+      cs.reserve(f.arity());
+      for (Formula c : f.children()) cs.push_back(substitute(c, map));
+      switch (f.op()) {
+        case Op::kNot: return lnot(cs[0]);
+        case Op::kAnd: return land(std::move(cs));
+        case Op::kOr: return lor(std::move(cs));
+        case Op::kImplies: return implies(cs[0], cs[1]);
+        case Op::kIff: return iff(cs[0], cs[1]);
+        case Op::kNext: return next(cs[0]);
+        case Op::kEventually: return eventually(cs[0]);
+        case Op::kAlways: return always(cs[0]);
+        case Op::kUntil: return until(cs[0], cs[1]);
+        case Op::kWeakUntil: return weak_until(cs[0], cs[1]);
+        case Op::kRelease: return release(cs[0], cs[1]);
+        default: break;
+      }
+      speccc_check(false, "unhandled op in substitute");
+      return f;
+    }
+  }
+}
+
+std::size_t max_next_chain(Formula f) {
+  if (f.op() == Op::kNext) {
+    std::size_t chain = 0;
+    Formula cur = f;
+    while (cur.op() == Op::kNext) {
+      ++chain;
+      cur = cur.child(0);
+    }
+    return std::max(chain, max_next_chain(cur));
+  }
+  std::size_t best = 0;
+  for (Formula c : f.children()) best = std::max(best, max_next_chain(c));
+  return best;
+}
+
+std::size_t temporal_operator_count(Formula f) {
+  std::size_t n = is_temporal(f.op()) ? 1 : 0;
+  for (Formula c : f.children()) n += temporal_operator_count(c);
+  return n;
+}
+
+namespace {
+
+bool safety_nnf(Formula f) {
+  switch (f.op()) {
+    case Op::kUntil:
+    case Op::kEventually:
+      return false;
+    default:
+      for (Formula c : f.children()) {
+        if (!safety_nnf(c)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace
+
+bool is_syntactic_safety(Formula f) { return safety_nnf(nnf(f)); }
+
+}  // namespace speccc::ltl

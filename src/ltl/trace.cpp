@@ -1,0 +1,170 @@
+#include "ltl/trace.hpp"
+
+#include <unordered_map>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::ltl {
+
+Lasso::Lasso(std::vector<Valuation> steps, std::size_t loop_start)
+    : steps_(std::move(steps)), loop_start_(loop_start) {
+  speccc_check(!steps_.empty(), "lasso must have at least one step");
+  speccc_check(loop_start_ < steps_.size(), "loop start out of range");
+}
+
+const Valuation& Lasso::at(std::size_t pos) const {
+  speccc_check(pos < steps_.size(), "lasso position out of range");
+  return steps_[pos];
+}
+
+std::size_t Lasso::successor(std::size_t pos) const {
+  speccc_check(pos < steps_.size(), "lasso position out of range");
+  return pos + 1 < steps_.size() ? pos + 1 : loop_start_;
+}
+
+bool Lasso::holds(const std::string& name, std::size_t pos) const {
+  return at(pos).count(name) > 0;
+}
+
+namespace {
+
+using SatVec = std::vector<bool>;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Lasso& lasso) : lasso_(lasso), n_(lasso.size()) {}
+
+  const SatVec& sat(Formula f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    SatVec result = compute(f);
+    return memo_.emplace(f, std::move(result)).first->second;
+  }
+
+ private:
+  SatVec compute(Formula f) {
+    SatVec out(n_, false);
+    switch (f.op()) {
+      case Op::kTrue:
+        out.assign(n_, true);
+        break;
+      case Op::kFalse:
+        break;
+      case Op::kAp:
+        for (std::size_t i = 0; i < n_; ++i) out[i] = lasso_.holds(f.ap_name(), i);
+        break;
+      case Op::kNot: {
+        const SatVec& c = sat(f.child(0));
+        for (std::size_t i = 0; i < n_; ++i) out[i] = !c[i];
+        break;
+      }
+      case Op::kAnd: {
+        out.assign(n_, true);
+        for (Formula child : f.children()) {
+          const SatVec& c = sat(child);
+          for (std::size_t i = 0; i < n_; ++i) out[i] = out[i] && c[i];
+        }
+        break;
+      }
+      case Op::kOr: {
+        for (Formula child : f.children()) {
+          const SatVec& c = sat(child);
+          for (std::size_t i = 0; i < n_; ++i) out[i] = out[i] || c[i];
+        }
+        break;
+      }
+      case Op::kImplies: {
+        const SatVec& a = sat(f.child(0));
+        const SatVec& b = sat(f.child(1));
+        for (std::size_t i = 0; i < n_; ++i) out[i] = !a[i] || b[i];
+        break;
+      }
+      case Op::kIff: {
+        const SatVec& a = sat(f.child(0));
+        const SatVec& b = sat(f.child(1));
+        for (std::size_t i = 0; i < n_; ++i) out[i] = a[i] == b[i];
+        break;
+      }
+      case Op::kNext: {
+        const SatVec& c = sat(f.child(0));
+        for (std::size_t i = 0; i < n_; ++i) out[i] = c[lasso_.successor(i)];
+        break;
+      }
+      case Op::kEventually: {
+        // Least fixpoint of out = c || X out.
+        const SatVec& c = sat(f.child(0));
+        out = fixpoint(/*init=*/false, [&](const SatVec& cur, std::size_t i) {
+          return c[i] || cur[lasso_.successor(i)];
+        });
+        break;
+      }
+      case Op::kAlways: {
+        // Greatest fixpoint of out = c && X out.
+        const SatVec& c = sat(f.child(0));
+        out = fixpoint(/*init=*/true, [&](const SatVec& cur, std::size_t i) {
+          return c[i] && cur[lasso_.successor(i)];
+        });
+        break;
+      }
+      case Op::kUntil: {
+        const SatVec& a = sat(f.child(0));
+        const SatVec& b = sat(f.child(1));
+        out = fixpoint(false, [&](const SatVec& cur, std::size_t i) {
+          return b[i] || (a[i] && cur[lasso_.successor(i)]);
+        });
+        break;
+      }
+      case Op::kWeakUntil: {
+        const SatVec& a = sat(f.child(0));
+        const SatVec& b = sat(f.child(1));
+        out = fixpoint(true, [&](const SatVec& cur, std::size_t i) {
+          return b[i] || (a[i] && cur[lasso_.successor(i)]);
+        });
+        break;
+      }
+      case Op::kRelease: {
+        // a R b: b holds until and including the step where a holds; if a
+        // never holds, b holds forever. Greatest fixpoint of
+        // out = b && (a || X out).
+        const SatVec& a = sat(f.child(0));
+        const SatVec& b = sat(f.child(1));
+        out = fixpoint(true, [&](const SatVec& cur, std::size_t i) {
+          return b[i] && (a[i] || cur[lasso_.successor(i)]);
+        });
+        break;
+      }
+    }
+    return out;
+  }
+
+  template <typename Step>
+  SatVec fixpoint(bool init, Step step) {
+    SatVec cur(n_, init);
+    for (bool changed = true; changed;) {
+      changed = false;
+      // Iterate backwards for faster convergence on the prefix.
+      for (std::size_t k = n_; k-- > 0;) {
+        const bool v = step(cur, k);
+        if (v != cur[k]) {
+          cur[k] = v;
+          changed = true;
+        }
+      }
+    }
+    return cur;
+  }
+
+  const Lasso& lasso_;
+  std::size_t n_;
+  std::unordered_map<Formula, SatVec> memo_;
+};
+
+}  // namespace
+
+bool evaluate(Formula f, const Lasso& lasso, std::size_t pos) {
+  speccc_check(pos < lasso.size(), "position out of range");
+  Evaluator ev(lasso);
+  return ev.sat(f)[pos];
+}
+
+}  // namespace speccc::ltl

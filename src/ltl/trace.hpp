@@ -1,0 +1,51 @@
+// LTL semantics over ultimately periodic words (lassos).
+//
+// A lasso w = u . v^omega is given by a finite sequence of valuations and a
+// loop start index: positions [0, loop_start) form the prefix u, positions
+// [loop_start, size) form the loop v which repeats forever. Every
+// omega-regular counterexample and every run of a finite-state controller is
+// of this shape, so lassos suffice for the property tests that cross-check
+// the tableau construction and both synthesis engines against the textbook
+// semantics of Section IV-A.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.hpp"
+
+namespace speccc::ltl {
+
+/// One time step: the set of atomic propositions that hold.
+using Valuation = std::set<std::string>;
+
+class Lasso {
+ public:
+  /// steps must be non-empty; loop_start must be < steps.size().
+  Lasso(std::vector<Valuation> steps, std::size_t loop_start);
+
+  [[nodiscard]] std::size_t size() const { return steps_.size(); }
+  [[nodiscard]] std::size_t loop_start() const { return loop_start_; }
+  [[nodiscard]] const Valuation& at(std::size_t pos) const;
+
+  /// Successor position: pos+1, wrapping from the last position back to
+  /// loop_start.
+  [[nodiscard]] std::size_t successor(std::size_t pos) const;
+
+  /// Does proposition `name` hold at position pos?
+  [[nodiscard]] bool holds(const std::string& name, std::size_t pos) const;
+
+ private:
+  std::vector<Valuation> steps_;
+  std::size_t loop_start_;
+};
+
+/// Does the lasso satisfy f at position pos (default: at the start)?
+///
+/// Computed bottom-up over subformulas with fixpoint iteration on the lasso
+/// graph: least fixpoints for U and F, greatest fixpoints for R, W and G.
+[[nodiscard]] bool evaluate(Formula f, const Lasso& lasso, std::size_t pos = 0);
+
+}  // namespace speccc::ltl

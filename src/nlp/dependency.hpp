@@ -1,0 +1,45 @@
+// Stanford-style typed dependencies extracted from parsed sentences.
+//
+// The paper's semantic reasoning (Algorithm 1) consumes the dependency
+// relation <subject, dependent> produced by the Stanford parser; this module
+// reproduces that interface from our grammar parse. Relations emitted:
+//
+//   nsubj / nsubjpass  verb lemma      <- subject head
+//   acomp              be              <- adjective complement
+//   amod               subject head    <- attributive adjective
+//   advmod             clause          <- modifier adverb
+//   neg                predicate       <- "not"
+//   conj_and / conj_or subject 1       <- subject 2
+//
+// For Algorithm 1 only the adjective/adverb dependents of each subject
+// matter; subject_dependents() groups exactly those (the paper's `subject`
+// map), excluding capitalized proper-name components.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nlp/syntax.hpp"
+
+namespace speccc::nlp {
+
+struct Dependency {
+  std::string type;       // "nsubj", "acomp", "amod", ...
+  std::string governor;
+  std::string dependent;
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+};
+
+/// All typed dependencies of a sentence.
+[[nodiscard]] std::vector<Dependency> dependencies(const Sentence& sentence);
+
+/// The paper's `subject` grouping: for every subject (name joined with '_'),
+/// the set of adjective/adverb words depending on it anywhere in the
+/// sentence -- the antonym candidates of Algorithm 1.
+[[nodiscard]] std::map<std::string, std::set<std::string>> subject_dependents(
+    const Sentence& sentence);
+
+}  // namespace speccc::nlp

@@ -1,0 +1,253 @@
+#include "nlp/lexicon.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace speccc::nlp {
+
+const char* pos_name(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun: return "noun";
+    case Pos::kVerb: return "verb";
+    case Pos::kBe: return "be";
+    case Pos::kModal: return "modal";
+    case Pos::kAdjective: return "adjective";
+    case Pos::kAdverb: return "adverb";
+    case Pos::kDeterminer: return "determiner";
+    case Pos::kSubordinator: return "subordinator";
+    case Pos::kConjunction: return "conjunction";
+    case Pos::kPreposition: return "preposition";
+    case Pos::kNegation: return "negation";
+    case Pos::kPronoun: return "pronoun";
+    case Pos::kNumber: return "number";
+    case Pos::kTimeUnit: return "time-unit";
+    case Pos::kMarker: return "marker";
+    case Pos::kComma: return "comma";
+    case Pos::kPeriod: return "period";
+    case Pos::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+void Lexicon::add(const std::string& word, Pos pos) {
+  words_[util::to_lower(word)].insert(pos);
+}
+
+void Lexicon::add_verb(const std::string& lemma) {
+  const std::string lower = util::to_lower(lemma);
+  verb_lemmas_.insert(lower);
+  words_[lower].insert(Pos::kVerb);
+}
+
+void Lexicon::add_irregular_verb(const std::string& form, const std::string& lemma,
+                                 VerbForm verb_form) {
+  const std::string lower = util::to_lower(form);
+  irregular_[lower] = {util::to_lower(lemma), verb_form};
+  words_[lower].insert(Pos::kVerb);
+}
+
+bool Lexicon::known(const std::string& word) const {
+  return words_.count(util::to_lower(word)) > 0;
+}
+
+namespace {
+
+bool is_number(const std::string& word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+/// Candidate stems for an -ed / -ing inflection, most specific first.
+std::vector<std::string> strip_suffix_candidates(const std::string& word,
+                                                 const std::string& suffix) {
+  std::vector<std::string> out;
+  if (word.size() <= suffix.size() ||
+      word.substr(word.size() - suffix.size()) != suffix) {
+    return out;
+  }
+  const std::string stem = word.substr(0, word.size() - suffix.size());
+  // terminated -> terminate (re-add 'e').
+  out.push_back(stem + "e");
+  // pressed -> press.
+  out.push_back(stem);
+  // plugged -> plug (undouble final consonant).
+  if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+    out.push_back(stem.substr(0, stem.size() - 1));
+  }
+  // carried -> carry (only for -ed/-es after 'i').
+  if (!stem.empty() && stem.back() == 'i') {
+    out.push_back(stem.substr(0, stem.size() - 1) + "y");
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<VerbAnalysis> Lexicon::analyze_verb(const std::string& raw) const {
+  const std::string word = util::to_lower(raw);
+  const auto irr = irregular_.find(word);
+  if (irr != irregular_.end()) return irr->second;
+  if (verb_lemmas_.count(word) > 0) return VerbAnalysis{word, VerbForm::kBase};
+
+  struct Rule {
+    const char* suffix;
+    VerbForm form;
+  };
+  static const Rule kRules[] = {
+      {"ing", VerbForm::kGerund},
+      {"ed", VerbForm::kPastParticiple},
+      {"es", VerbForm::kThirdPerson},
+      {"s", VerbForm::kThirdPerson},
+  };
+  for (const Rule& rule : kRules) {
+    for (const std::string& stem : strip_suffix_candidates(word, rule.suffix)) {
+      if (verb_lemmas_.count(stem) > 0) return VerbAnalysis{stem, rule.form};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<unsigned> Lexicon::time_unit_seconds(const std::string& raw) const {
+  const std::string word = util::to_lower(raw);
+  if (word == "second" || word == "seconds") return 1;
+  if (word == "minute" || word == "minutes") return 60;
+  if (word == "hour" || word == "hours") return 3600;
+  if (word == "tick" || word == "ticks") return 1;
+  return std::nullopt;
+}
+
+std::set<Pos> Lexicon::lookup(const std::string& raw) const {
+  const std::string word = util::to_lower(raw);
+  std::set<Pos> out;
+
+  const auto it = words_.find(word);
+  if (it != words_.end()) out = it->second;
+  if (analyze_verb(word).has_value()) out.insert(Pos::kVerb);
+  if (is_number(word)) out.insert(Pos::kNumber);
+  if (time_unit_seconds(word).has_value()) out.insert(Pos::kTimeUnit);
+  if (!out.empty()) return out;
+
+  // Suffix heuristics for open-class words outside the vocabulary.
+  if (util::ends_with(word, "able") || util::ends_with(word, "ible") ||
+      util::ends_with(word, "ive") || util::ends_with(word, "ous") ||
+      util::ends_with(word, "al") || util::ends_with(word, "ful")) {
+    out.insert(Pos::kAdjective);
+  } else if (util::ends_with(word, "ly")) {
+    out.insert(Pos::kAdverb);
+  } else {
+    out.insert(Pos::kNoun);
+  }
+  return out;
+}
+
+Lexicon Lexicon::builtin() {
+  Lexicon lex;
+
+  // ---- Closed classes -------------------------------------------------------
+  for (const char* w : {"the", "a", "an", "this", "that", "every", "each",
+                        "some", "any"}) {
+    lex.add(w, Pos::kDeterminer);
+  }
+  for (const char* w : {"shall", "should", "will", "would", "can", "could",
+                        "must", "may"}) {
+    lex.add(w, Pos::kModal);
+  }
+  for (const char* w : {"if", "after", "once", "when", "whenever", "while",
+                        "before", "until", "next"}) {
+    lex.add(w, Pos::kSubordinator);
+  }
+  for (const char* w : {"and", "or"}) lex.add(w, Pos::kConjunction);
+  for (const char* w : {"in", "at", "to", "of", "for", "from", "with", "by",
+                        "into", "on"}) {
+    lex.add(w, Pos::kPreposition);
+  }
+  for (const char* w : {"not", "no", "never"}) lex.add(w, Pos::kNegation);
+  lex.add("it", Pos::kPronoun);
+  for (const char* w : {"then", "also", "so"}) lex.add(w, Pos::kMarker);
+  for (const char* w : {"globally", "always", "sometimes", "eventually",
+                        "immediately"}) {
+    lex.add(w, Pos::kAdverb);
+  }
+
+  // Forms of "be".
+  for (const char* w : {"be", "is", "are", "was", "were", "been", "being"}) {
+    lex.add(w, Pos::kBe);
+  }
+
+  // ---- Verbs (base lemmas; inflections via morphology) -----------------------
+  for (const char* v :
+       {"enter",   "inflate",  "press",    "terminate", "start",    "run",
+        "trigger", "select",   "detect",   "corroborate", "issue",  "provide",
+        "disable", "enable",   "sound",    "plug",      "monitor",  "control",
+        "drive",   "power",    "turn",     "lose",      "clear",    "remain",
+        "become",  "stay",     "arrive",   "operate",   "read",     "give",
+        "take",    "look",     "move",     "visit",     "carry",    "deliver",
+        "rescue",  "find",     "search",   "reach",     "process",  "reserve",
+        "order",   "ship",     "cancel",   "submit",    "display",  "post",
+        "send",    "receive",  "browse",   "confirm",   "notify",   "update",
+        "store",   "validate", "reject",   "approve",   "handle",   "request",
+        "grant",   "release",  "activate", "deactivate", "suspend", "resume",
+        "log",     "publish",  "retrieve", "refresh",   "verify",   "charge",
+        "pay",     "deduct",   "restock",  "dispatch",  "queue",    "poll",
+        "sample",  "measure",  "report",   "raise",     "silence",  "acknowledge"}) {
+    lex.add_verb(v);
+  }
+  // Irregular inflections used by the corpora.
+  lex.add_irregular_verb("is", "be", VerbForm::kThirdPerson);
+  lex.add_irregular_verb("are", "be", VerbForm::kThirdPerson);
+  lex.add_irregular_verb("was", "be", VerbForm::kPast);
+  lex.add_irregular_verb("were", "be", VerbForm::kPast);
+  lex.add_irregular_verb("been", "be", VerbForm::kPastParticiple);
+  lex.add_irregular_verb("lost", "lose", VerbForm::kPastParticiple);
+  lex.add_irregular_verb("ran", "run", VerbForm::kPast);
+  lex.add_irregular_verb("running", "run", VerbForm::kGerund);
+  lex.add_irregular_verb("found", "find", VerbForm::kPastParticiple);
+  lex.add_irregular_verb("sent", "send", VerbForm::kPastParticiple);
+  lex.add_irregular_verb("read", "read", VerbForm::kPastParticiple);
+  lex.add_irregular_verb("paid", "pay", VerbForm::kPastParticiple);
+
+  // ---- Adjectives (antonym candidates live here and in the dictionary) -------
+  for (const char* adj :
+       {"available", "unavailable", "valid",   "invalid",  "ok",
+        "low",        "high",        "ready",   "operational", "lost",
+        "enabled",    "disabled",    "open",    "closed",   "on",
+        "off",        "empty",       "full",    "active",   "inactive",
+        "busy",       "idle",        "visible", "hidden",   "present",
+        "absent",     "injured",     "normal",  "faulty",   "connected",
+        "disconnected", "locked",    "unlocked", "online",  "offline",
+        "pending",    "complete",    "incomplete", "correct", "incorrect",
+        "successful", "failed",      "clear",   "occluded"}) {
+    lex.add(adj, Pos::kAdjective);
+  }
+
+  // ---- Nouns (corpus vocabulary) ---------------------------------------------
+  for (const char* n :
+       {"cara",     "lstat",     "pump",      "mode",     "auto",
+        "manual",   "wait",      "control",   "button",   "alarm",
+        "cuff",     "arterial",  "line",      "pulse",    "wave",
+        "pressure", "blood",     "signal",    "air",      "occlusion",
+        "infusate", "override",  "selection", "confirmation", "yes",
+        "no",       "corroboration", "source", "battery", "power",
+        "supply",   "impedance", "reading",   "monitor",  "detector",
+        "system",   "software",  "patient",   "rate",     "infusion",
+        "robot",    "room",      "medic",     "person",   "people",
+        "shopping", "cart",      "item",      "order",    "article",
+        "reservation", "information", "bulletin", "board", "application",
+        "user",     "account",   "payment",   "card",     "stock",
+        "catalog",  "request",   "response",  "message",  "notice",
+        "session",  "page",      "query",     "database", "record",
+        "customer", "editor",    "review",    "draft",    "seat",
+        "schedule", "ticket",    "posting",   "moderator", "queue",
+        "timeout",  "retry",     "error",     "status",   "light",
+        "door",     "sensor",    "valve",     "heater",   "fan"}) {
+    lex.add(n, Pos::kNoun);
+  }
+
+  return lex;
+}
+
+}  // namespace speccc::nlp

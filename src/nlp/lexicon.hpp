@@ -1,0 +1,86 @@
+// Lexicon and morphology for the structured-English subset (Section IV-B).
+//
+// This (together with the grammar parser in syntax.hpp) is the stand-in for
+// the Stanford NLP parser: the paper restricts requirements to a controlled
+// grammar, so a purpose-built lexicon + morphological analyzer + rule tagger
+// produce exactly the grammatical ingredients the translator needs.
+//
+// The built-in vocabulary covers the CARA, TELEPROMISE and rescue-robot
+// corpora plus the closed-class words of the grammar; open-class words
+// outside the lexicon are categorized by suffix heuristics, so reasonable
+// unseen requirements still parse.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace speccc::nlp {
+
+enum class Pos {
+  kNoun,
+  kVerb,         // lexical verb (any inflection; lemma provided separately)
+  kBe,           // is/are/was/were/be/been/being
+  kModal,        // shall should will would can could must may
+  kAdjective,
+  kAdverb,       // includes the grammar's modifiers (eventually, always...)
+  kDeterminer,   // the a an ...
+  kSubordinator, // if when whenever once while after before until next
+  kConjunction,  // and or
+  kPreposition,  // in at to of ...
+  kNegation,     // not, no
+  kPronoun,      // it
+  kNumber,       // 3, 180, ...
+  kTimeUnit,     // second(s), minute(s), tick(s)
+  kMarker,       // discourse fillers ignored by the grammar: then, also
+  kComma,
+  kPeriod,
+  kUnknown,
+};
+
+[[nodiscard]] const char* pos_name(Pos pos);
+
+/// Verb tense surface form.
+enum class VerbForm { kBase, kThirdPerson, kPast, kPastParticiple, kGerund };
+
+struct VerbAnalysis {
+  std::string lemma;
+  VerbForm form = VerbForm::kBase;
+};
+
+class Lexicon {
+ public:
+  /// The built-in vocabulary (CARA + TELEPROMISE + robot + closed classes).
+  static Lexicon builtin();
+
+  /// Empty lexicon (tests compose their own).
+  Lexicon() = default;
+
+  void add(const std::string& word, Pos pos);
+  void add_verb(const std::string& lemma);
+  /// Register an irregular inflection (e.g. "lost" -> lemma "lose").
+  void add_irregular_verb(const std::string& form, const std::string& lemma,
+                          VerbForm verb_form);
+
+  /// All parts of speech this surface form can take (lexicon + morphology).
+  [[nodiscard]] std::set<Pos> lookup(const std::string& word) const;
+
+  /// Morphological analysis of a (possibly inflected) verb form; nullopt if
+  /// the word cannot be a verb.
+  [[nodiscard]] std::optional<VerbAnalysis> analyze_verb(const std::string& word) const;
+
+  /// Time units to seconds multiplier (second=1, minute=60, ...); nullopt
+  /// when not a time unit.
+  [[nodiscard]] std::optional<unsigned> time_unit_seconds(const std::string& word) const;
+
+  [[nodiscard]] bool known(const std::string& word) const;
+
+ private:
+  std::unordered_map<std::string, std::set<Pos>> words_;
+  std::set<std::string> verb_lemmas_;
+  std::unordered_map<std::string, VerbAnalysis> irregular_;
+};
+
+}  // namespace speccc::nlp

@@ -1,0 +1,122 @@
+#include "nlp/tokenizer.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace speccc::nlp {
+
+std::vector<std::string> tokenize(const std::string& sentence) {
+  std::vector<std::string> out;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : sentence) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      current.push_back(c);
+    } else if (c == ',') {
+      flush();
+      out.emplace_back(",");
+    } else if (c == '.') {
+      flush();
+      out.emplace_back(".");
+    } else {
+      // Whitespace, hyphens, underscores, quotes: word separators.
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+namespace {
+
+Pos pick_preferred(const std::set<Pos>& candidates, Pos preferred) {
+  if (candidates.count(preferred) > 0) return preferred;
+  return *candidates.begin();
+}
+
+}  // namespace
+
+std::vector<Token> tag(const std::vector<std::string>& words,
+                       const Lexicon& lexicon) {
+  std::vector<Token> out;
+  out.reserve(words.size());
+
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    const std::string raw = words[i];
+    const std::string w = util::to_lower(raw);
+    Token token;
+    token.text = w;
+    token.lemma = w;
+    token.capitalized =
+        i > 0 && !raw.empty() && std::isupper(static_cast<unsigned char>(raw[0])) != 0;
+    if (w == ",") {
+      token.pos = Pos::kComma;
+      out.push_back(token);
+      continue;
+    }
+    if (w == ".") {
+      token.pos = Pos::kPeriod;
+      out.push_back(token);
+      continue;
+    }
+
+    const std::set<Pos> candidates = lexicon.lookup(w);
+    const Pos prev = out.empty() ? Pos::kUnknown : out.back().pos;
+
+    Pos chosen;
+    if (candidates.count(Pos::kBe) > 0) {
+      // Forms of "be" are unambiguous copulas in the structured grammar.
+      chosen = Pos::kBe;
+    } else if (candidates.size() == 1) {
+      chosen = *candidates.begin();
+    } else if (prev == Pos::kDeterminer || prev == Pos::kAdjective) {
+      // After a determiner or attributive adjective, prefer the nominal
+      // reading ("the control", "a valid pressure").
+      chosen = pick_preferred(candidates, Pos::kNoun);
+    } else if (prev == Pos::kBe) {
+      // Copular complement: prefer adjective ("is available"), else a
+      // passive participle ("is terminated").
+      if (candidates.count(Pos::kAdjective) > 0) {
+        chosen = Pos::kAdjective;
+      } else {
+        chosen = pick_preferred(candidates, Pos::kVerb);
+      }
+    } else if (prev == Pos::kModal) {
+      // After a modal the verb reading wins ("can start", "should sound").
+      chosen = pick_preferred(candidates, Pos::kVerb);
+    } else if (prev == Pos::kNumber) {
+      chosen = pick_preferred(candidates, Pos::kTimeUnit);
+    } else if (candidates.count(Pos::kNoun) > 0 &&
+               candidates.count(Pos::kVerb) > 0) {
+      // Noun/verb ambiguous with no deciding context: nouns dominate in the
+      // corpus ("control mode", "power supply"); verbs are recovered by the
+      // clause parser when a predicate is syntactically required.
+      chosen = Pos::kNoun;
+    } else {
+      chosen = *candidates.begin();
+    }
+
+    token.pos = chosen;
+    if (chosen == Pos::kVerb) {
+      const auto analysis = lexicon.analyze_verb(w);
+      if (analysis.has_value()) {
+        token.lemma = analysis->lemma;
+        token.verb_form = analysis->form;
+      }
+    }
+    out.push_back(token);
+  }
+  return out;
+}
+
+std::vector<Token> analyze(const std::string& sentence, const Lexicon& lexicon) {
+  return tag(tokenize(sentence), lexicon);
+}
+
+}  // namespace speccc::nlp

@@ -1,0 +1,152 @@
+#include "refine/refine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::refine {
+
+namespace {
+
+using ltl::Formula;
+
+synth::IoSignature signature_from(const partition::Partition& partition) {
+  synth::IoSignature sig;
+  sig.inputs.assign(partition.inputs.begin(), partition.inputs.end());
+  sig.outputs.assign(partition.outputs.begin(), partition.outputs.end());
+  return sig;
+}
+
+bool realizable(const std::vector<Formula>& formulas,
+                const synth::IoSignature& signature,
+                const synth::SynthesisOptions& options, std::size_t& checks) {
+  ++checks;
+  const auto result = synth::synthesize(formulas, signature, options);
+  return result.verdict == synth::Realizability::kRealizable;
+}
+
+}  // namespace
+
+Localization localize(const std::vector<Formula>& requirements,
+                      const synth::IoSignature& signature,
+                      const synth::SynthesisOptions& options) {
+  Localization out;
+
+  // Incremental subset growth: add requirements until the subset turns
+  // unrealizable; the last added formula belongs to the core.
+  std::vector<Formula> subset;
+  std::vector<std::size_t> subset_indices;
+  std::size_t breaker = requirements.size();
+  for (std::size_t i = 0; i < requirements.size(); ++i) {
+    subset.push_back(requirements[i]);
+    subset_indices.push_back(i);
+    if (!realizable(subset, signature, options, out.checks)) {
+      breaker = i;
+      break;
+    }
+  }
+  speccc_check(breaker < requirements.size(),
+               "localize precondition: full specification must be unrealizable");
+
+  // Greedy shrink: drop earlier formulas while the subset stays
+  // unrealizable. The breaker always stays.
+  std::vector<std::size_t> core = subset_indices;
+  for (std::size_t drop = 0; drop < core.size();) {
+    if (core[drop] == breaker) {
+      ++drop;
+      continue;
+    }
+    std::vector<Formula> trial;
+    for (std::size_t k = 0; k < core.size(); ++k) {
+      if (k != drop) trial.push_back(requirements[core[k]]);
+    }
+    if (!realizable(trial, signature, options, out.checks)) {
+      core.erase(core.begin() + static_cast<std::ptrdiff_t>(drop));
+    } else {
+      ++drop;
+    }
+  }
+  out.core = core;
+
+  // Filtering step: requirements sharing propositions with the core.
+  std::set<std::string> core_props;
+  for (std::size_t i : core) {
+    const auto atoms = requirements[i].atoms();
+    core_props.insert(atoms.begin(), atoms.end());
+  }
+  for (std::size_t i = 0; i < requirements.size(); ++i) {
+    const auto atoms = requirements[i].atoms();
+    const bool shares = std::any_of(atoms.begin(), atoms.end(),
+                                    [&core_props](const std::string& a) {
+                                      return core_props.count(a) > 0;
+                                    });
+    if (shares) out.related.push_back(i);
+  }
+  return out;
+}
+
+RefinementOutcome refine(const std::vector<Formula>& requirements,
+                         const partition::Partition& initial,
+                         const synth::SynthesisOptions& options) {
+  RefinementOutcome outcome;
+  outcome.partition = initial;
+
+  const synth::IoSignature signature = signature_from(initial);
+  if (realizable(requirements, signature, options, outcome.checks)) {
+    outcome.consistent = true;
+    return outcome;
+  }
+
+  outcome.localization = localize(requirements, signature, options);
+  outcome.checks += outcome.localization.checks;
+
+  // Candidate variables: propositions of the core, ranked by occurrence
+  // count over the core and related requirements (most implicated first).
+  std::set<std::string> core_props;
+  for (std::size_t i : outcome.localization.core) {
+    const auto atoms = requirements[i].atoms();
+    core_props.insert(atoms.begin(), atoms.end());
+  }
+  std::map<std::string, std::size_t> occurrence;
+  for (std::size_t i : outcome.localization.related) {
+    for (const auto& a : requirements[i].atoms()) {
+      if (core_props.count(a) > 0) ++occurrence[a];
+    }
+  }
+  std::vector<std::string> candidates(core_props.begin(), core_props.end());
+  std::sort(candidates.begin(), candidates.end(),
+            [&occurrence](const std::string& a, const std::string& b) {
+              const auto ca = occurrence[a];
+              const auto cb = occurrence[b];
+              return ca != cb ? ca > cb : a < b;
+            });
+
+  // Try flipping each candidate (paper V-B bullet 2).
+  for (const std::string& variable : candidates) {
+    partition::Partition flipped = initial;
+    const bool was_input = flipped.is_input(variable);
+    if (was_input) {
+      flipped.inputs.erase(variable);
+      flipped.outputs.insert(variable);
+    } else {
+      flipped.outputs.erase(variable);
+      flipped.inputs.insert(variable);
+    }
+    if (flipped.inputs.empty()) continue;  // a system needs some input
+    if (realizable(requirements, signature_from(flipped), options,
+                   outcome.checks)) {
+      outcome.consistent = true;
+      outcome.adjustment = Adjustment{variable, !was_input};
+      outcome.partition = flipped;
+      return outcome;
+    }
+  }
+
+  // No adjustment helps: genuinely inconsistent (paper V-B bullet 3 -- the
+  // requirements themselves must be modified).
+  outcome.consistent = false;
+  return outcome;
+}
+
+}  // namespace speccc::refine

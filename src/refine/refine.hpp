@@ -1,0 +1,57 @@
+// Heuristic refinement (paper Section V-B): when synthesis reports the
+// specification unrealizable, (1) locate a minimal inconsistent requirement
+// core, (2) filter the requirements sharing propositions with it, and
+// (3) try adjusting the input/output partition of the implicated variables;
+// only if no adjustment helps is the specification declared genuinely
+// inconsistent (the requirements themselves must change).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.hpp"
+#include "partition/partition.hpp"
+#include "synth/synthesizer.hpp"
+
+namespace speccc::refine {
+
+struct Localization {
+  /// Indices of a minimal inconsistent requirement subset.
+  std::vector<std::size_t> core;
+  /// Indices of requirements sharing propositions with the core (the
+  /// paper's filtering step) -- includes the core itself.
+  std::vector<std::size_t> related;
+  /// Number of realizability checks performed.
+  std::size_t checks = 0;
+};
+
+/// Locate a minimal inconsistent core by incremental subset growth followed
+/// by greedy shrinking (paper V-B bullet 1). Precondition: the full
+/// conjunction is unrealizable under `signature`.
+[[nodiscard]] Localization localize(const std::vector<ltl::Formula>& requirements,
+                                    const synth::IoSignature& signature,
+                                    const synth::SynthesisOptions& options = {});
+
+struct Adjustment {
+  std::string variable;
+  bool now_input = false;  // direction of the flip
+};
+
+struct RefinementOutcome {
+  bool consistent = false;  // true if an adjustment restored realizability
+  std::optional<Adjustment> adjustment;
+  partition::Partition partition;  // final partition (adjusted or original)
+  Localization localization;
+  std::size_t checks = 0;  // total realizability checks
+};
+
+/// The full stage-3 loop: localize, then try single-variable partition flips
+/// on the core/related propositions (paper V-B bullet 2). Candidates are
+/// ranked by how often they occur in the core and related requirements.
+[[nodiscard]] RefinementOutcome refine(const std::vector<ltl::Formula>& requirements,
+                                       const partition::Partition& initial,
+                                       const synth::SynthesisOptions& options = {});
+
+}  // namespace speccc::refine

@@ -1,0 +1,347 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::sat {
+
+int Solver::new_var() {
+  const int v = num_vars();
+  assign_.push_back(Value::kUndef);
+  vars_.push_back({});
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+Solver::Value Solver::lit_value(Lit l) const {
+  const Value v = assign_[static_cast<std::size_t>(l.var())];
+  if (v == Value::kUndef) return Value::kUndef;
+  const bool b = (v == Value::kTrue) == l.positive();
+  return b ? Value::kTrue : Value::kFalse;
+}
+
+void Solver::add_clause(Clause clause) {
+  if (unsat_) return;
+  // Adding clauses is only sound at decision level 0: a unit enqueued at a
+  // stale level from a previous solve() would be silently undone by the next
+  // backtrack. This invalidates the current model.
+  backtrack(0);
+  // Remove duplicate literals; detect tautologies.
+  std::sort(clause.begin(), clause.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  Clause cleaned;
+  for (Lit l : clause) {
+    speccc_check(l.var() < num_vars(), "literal references unknown variable");
+    if (!cleaned.empty() && cleaned.back() == l) continue;
+    if (!cleaned.empty() && cleaned.back() == l.negated()) return;  // tautology
+    cleaned.push_back(l);
+  }
+  // Drop literals already false at level 0; satisfied clauses are no-ops.
+  Clause active;
+  for (Lit l : cleaned) {
+    if (lit_value(l) == Value::kTrue && vars_[l.var()].level == 0 &&
+        assign_[l.var()] != Value::kUndef) {
+      return;
+    }
+    if (lit_value(l) == Value::kFalse && assign_[l.var()] != Value::kUndef &&
+        vars_[l.var()].level == 0) {
+      continue;
+    }
+    active.push_back(l);
+  }
+  if (active.empty()) {
+    unsat_ = true;
+    return;
+  }
+  if (active.size() == 1) {
+    if (lit_value(active[0]) == Value::kFalse) {
+      unsat_ = true;
+      return;
+    }
+    if (lit_value(active[0]) == Value::kUndef) {
+      enqueue(active[0], -1);
+      if (propagate() != -1) unsat_ = true;
+    }
+    return;
+  }
+  clauses_.push_back({std::move(active), false});
+  attach(static_cast<int>(clauses_.size()) - 1);
+}
+
+void Solver::attach(int clause_index) {
+  const Clause& c = clauses_[clause_index].lits;
+  watches_[c[0].negated().code()].push_back({clause_index, c[1]});
+  watches_[c[1].negated().code()].push_back({clause_index, c[0]});
+}
+
+void Solver::enqueue(Lit l, int reason) {
+  speccc_check(lit_value(l) == Value::kUndef, "enqueue on assigned literal");
+  assign_[l.var()] = l.positive() ? Value::kTrue : Value::kFalse;
+  vars_[l.var()].reason = reason;
+  vars_[l.var()].level = static_cast<int>(trail_limits_.size());
+  trail_.push_back(l);
+}
+
+int Solver::propagate() {
+  while (queue_head_ < trail_.size()) {
+    const Lit p = trail_[queue_head_++];
+    ++stats_.propagations;
+    auto& watchers = watches_[p.code()];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < watchers.size(); ++i) {
+      const Watcher w = watchers[i];
+      if (lit_value(w.blocker) == Value::kTrue) {
+        watchers[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clause_index].lits;
+      // Normalize: make c[0] the other watched literal.
+      const Lit false_lit = p.negated();
+      if (c[0] == false_lit) std::swap(c[0], c[1]);
+      if (lit_value(c[0]) == Value::kTrue) {
+        watchers[keep++] = {w.clause_index, c[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (lit_value(c[k]) != Value::kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].negated().code()].push_back({w.clause_index, c[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      if (lit_value(c[0]) == Value::kFalse) {
+        // Conflict: restore remaining watchers and report.
+        for (; i < watchers.size(); ++i) watchers[keep++] = watchers[i];
+        watchers.resize(keep);
+        return w.clause_index;
+      }
+      watchers[keep++] = w;
+      enqueue(c[0], w.clause_index);
+    }
+    watchers.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::bump(int var) {
+  vars_[var].activity += activity_increment_;
+  if (vars_[var].activity > 1e100) {
+    for (auto& v : vars_) v.activity *= 1e-100;
+    activity_increment_ *= 1e-100;
+  }
+}
+
+void Solver::decay() { activity_increment_ /= 0.95; }
+
+void Solver::analyze(int conflict, Clause& learned, int& backtrack_level) {
+  learned.clear();
+  learned.push_back(Lit());  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p;
+  bool p_valid = false;
+  std::size_t trail_index = trail_.size();
+  const int current_level = static_cast<int>(trail_limits_.size());
+
+  int reason_index = conflict;
+  for (;;) {
+    speccc_check(reason_index != -1, "analyze requires a reason clause");
+    const Clause& reason = clauses_[reason_index].lits;
+    for (std::size_t i = p_valid ? 1 : 0; i < reason.size(); ++i) {
+      const Lit q = reason[i];
+      if (seen_[q.var()] || vars_[q.var()].level == 0) continue;
+      seen_[q.var()] = true;
+      bump(q.var());
+      if (vars_[q.var()].level >= current_level) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Select the next literal on the trail to resolve.
+    do {
+      --trail_index;
+      p = trail_[trail_index];
+    } while (!seen_[p.var()]);
+    seen_[p.var()] = false;
+    --counter;
+    if (counter == 0) break;
+    reason_index = vars_[p.var()].reason;
+    p_valid = true;
+    // For resolution steps, the reason clause's first literal is p itself.
+    if (reason_index != -1) {
+      Clause& rc = clauses_[reason_index].lits;
+      if (rc[0] != p) {
+        for (std::size_t k = 1; k < rc.size(); ++k) {
+          if (rc[k] == p) {
+            std::swap(rc[0], rc[k]);
+            break;
+          }
+        }
+      }
+    }
+  }
+  learned[0] = p.negated();
+
+  // Compute backtrack level = max level among learned[1..].
+  backtrack_level = 0;
+  std::size_t max_index = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const int lvl = vars_[learned[i].var()].level;
+    if (lvl > backtrack_level) {
+      backtrack_level = lvl;
+      max_index = i;
+    }
+  }
+  if (learned.size() > 1) std::swap(learned[1], learned[max_index]);
+  for (std::size_t i = 1; i < learned.size(); ++i) seen_[learned[i].var()] = false;
+}
+
+void Solver::backtrack(int level) {
+  if (static_cast<int>(trail_limits_.size()) <= level) return;
+  const int limit = trail_limits_[level];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= limit; --i) {
+    const int v = trail_[i].var();
+    vars_[v].saved_phase = assign_[v] == Value::kTrue;
+    assign_[v] = Value::kUndef;
+    vars_[v].reason = -1;
+  }
+  trail_.resize(limit);
+  trail_limits_.resize(level);
+  queue_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  int best = -1;
+  double best_activity = -1.0;
+  for (int v = 0; v < num_vars(); ++v) {
+    if (assign_[v] == Value::kUndef && vars_[v].activity > best_activity) {
+      best = v;
+      best_activity = vars_[v].activity;
+    }
+  }
+  speccc_check(best >= 0, "pick_branch with full assignment");
+  return Lit(best, vars_[best].saved_phase);
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Knuth's formulation of the Luby sequence.
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) <= i + 1) ++k;
+  while ((1ULL << k) - 1 != i + 1) {
+    i = i - ((1ULL << k) - 1) + 1 - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) <= i + 1) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  failed_assumptions_.assign(static_cast<std::size_t>(num_vars()), false);
+  if (unsat_) return Result::kUnsat;
+  backtrack(0);
+  if (propagate() != -1) {
+    unsat_ = true;
+    return Result::kUnsat;
+  }
+
+  std::uint64_t restart_round = 0;
+  std::uint64_t conflicts_until_restart = 64 * luby(restart_round);
+  std::uint64_t conflicts_this_round = 0;
+
+  for (;;) {
+    const int conflict = propagate();
+    if (conflict != -1) {
+      ++stats_.conflicts;
+      ++conflicts_this_round;
+      if (trail_limits_.empty()) {
+        unsat_ = true;
+        return Result::kUnsat;
+      }
+      // If all decisions so far are assumption decisions, record them as the
+      // failing core approximation.
+      Clause learned;
+      int backtrack_level = 0;
+      analyze(conflict, learned, backtrack_level);
+      // Never backtrack past the assumption prefix: if the learned clause
+      // asserts below the number of assumptions taken, the assumptions
+      // conflict.
+      backtrack(backtrack_level);
+      if (learned.size() == 1) {
+        if (lit_value(learned[0]) == Value::kFalse) {
+          unsat_ = true;
+          return Result::kUnsat;
+        }
+        if (lit_value(learned[0]) == Value::kUndef) enqueue(learned[0], -1);
+      } else {
+        clauses_.push_back({learned, true});
+        ++stats_.learned;
+        attach(static_cast<int>(clauses_.size()) - 1);
+        enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
+      }
+      decay();
+      if (conflicts_this_round >= conflicts_until_restart) {
+        ++stats_.restarts;
+        ++restart_round;
+        conflicts_this_round = 0;
+        conflicts_until_restart = 64 * luby(restart_round);
+        backtrack(0);
+      }
+      continue;
+    }
+
+    // Re-apply assumptions that are not yet on the trail.
+    bool assumption_conflict = false;
+    bool made_decision = false;
+    for (std::size_t i = 0; i < assumptions.size(); ++i) {
+      const Lit l = assumptions[i];
+      speccc_check(l.var() < num_vars(), "assumption on unknown variable");
+      if (lit_value(l) == Value::kTrue) continue;
+      if (lit_value(l) == Value::kFalse) {
+        failed_assumptions_[l.var()] = true;
+        assumption_conflict = true;
+        break;
+      }
+      trail_limits_.push_back(static_cast<int>(trail_.size()));
+      ++stats_.decisions;
+      enqueue(l, -1);
+      made_decision = true;
+      break;
+    }
+    if (assumption_conflict) {
+      backtrack(0);
+      return Result::kUnsat;
+    }
+    if (made_decision) continue;
+
+    // All assumptions hold; decide on the remaining variables.
+    if (trail_.size() == static_cast<std::size_t>(num_vars())) {
+      return Result::kSat;
+    }
+    trail_limits_.push_back(static_cast<int>(trail_.size()));
+    ++stats_.decisions;
+    enqueue(pick_branch(), -1);
+  }
+}
+
+bool Solver::value(int var) const {
+  speccc_check(var >= 0 && var < num_vars(), "value() variable out of range");
+  speccc_check(assign_[var] != Value::kUndef, "value() on unassigned variable");
+  return assign_[var] == Value::kTrue;
+}
+
+bool Solver::assumption_failed(Lit assumption) const {
+  const int v = assumption.var();
+  return v < static_cast<int>(failed_assumptions_.size()) &&
+         failed_assumptions_[v];
+}
+
+}  // namespace speccc::sat

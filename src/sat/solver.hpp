@@ -1,0 +1,129 @@
+// CDCL SAT solver.
+//
+// This is the decision-procedure substrate for the time-abstraction
+// optimizer (paper Section IV-E): the nonlinear constraint system (1)-(2) is
+// bit-blasted by the smt:: layer onto this solver, mirroring the paper's use
+// of Yices 2 "via bit-blasting".
+//
+// Features: two-watched-literal propagation, first-UIP clause learning,
+// VSIDS-style activity decision heuristic with phase saving, Luby restarts,
+// and solving under assumptions (the hook the optimizer uses for its
+// descending bound search).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace speccc::sat {
+
+/// A literal: variable index v (0-based) with polarity. Encoded as 2*v or
+/// 2*v+1 (negated).
+class Lit {
+ public:
+  Lit() = default;
+  Lit(int var, bool positive) : code_(2 * var + (positive ? 0 : 1)) {}
+
+  [[nodiscard]] int var() const { return code_ >> 1; }
+  [[nodiscard]] bool positive() const { return (code_ & 1) == 0; }
+  [[nodiscard]] Lit negated() const { return from_code(code_ ^ 1); }
+  [[nodiscard]] int code() const { return code_; }
+
+  static Lit from_code(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
+
+ private:
+  int code_ = -1;
+};
+
+using Clause = std::vector<Lit>;
+
+enum class Result { kSat, kUnsat };
+
+class Solver {
+ public:
+  Solver() = default;
+
+  /// Create a fresh variable; returns its index.
+  int new_var();
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Add a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable.
+  void add_clause(Clause clause);
+  void add_unit(Lit l) { add_clause({l}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  /// Solve the current clause set under the given assumptions.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// After kSat: the value assigned to a variable.
+  [[nodiscard]] bool value(int var) const;
+
+  /// After kUnsat under assumptions: true if the assumption literal was part
+  /// of the final conflict (a cheap core approximation).
+  [[nodiscard]] bool assumption_failed(Lit assumption) const;
+
+  /// Statistics, for the benchmark harness.
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct ClauseData {
+    Clause lits;
+    bool learned = false;
+  };
+
+  struct Watcher {
+    int clause_index;
+    Lit blocker;
+  };
+
+  struct VarInfo {
+    int reason = -1;   // clause index that implied this var, -1 if decision
+    int level = 0;
+    double activity = 0.0;
+    bool saved_phase = false;
+  };
+
+  [[nodiscard]] Value lit_value(Lit l) const;
+  void enqueue(Lit l, int reason);
+  int propagate();  // returns conflicting clause index or -1
+  void analyze(int conflict, Clause& learned, int& backtrack_level);
+  void backtrack(int level);
+  void bump(int var);
+  void decay();
+  Lit pick_branch();
+  void attach(int clause_index);
+  static std::uint64_t luby(std::uint64_t i);
+
+  std::vector<ClauseData> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+  std::vector<Value> assign_;
+  std::vector<VarInfo> vars_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_limits_;
+  std::size_t queue_head_ = 0;
+  double activity_increment_ = 1.0;
+  bool unsat_ = false;
+  std::vector<bool> failed_assumptions_;
+  std::vector<bool> seen_;
+  Stats stats_;
+};
+
+}  // namespace speccc::sat

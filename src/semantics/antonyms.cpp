@@ -1,0 +1,77 @@
+#include "semantics/antonyms.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::semantics {
+
+void AntonymDictionary::add_pair(const std::string& positive,
+                                 const std::string& negative) {
+  if (positive == negative) {
+    throw util::InvalidInputError("a word cannot be its own antonym: " + positive);
+  }
+  const auto set_polarity = [this](const std::string& word, Polarity p) {
+    const auto it = polarity_.find(word);
+    if (it != polarity_.end() && it->second != p) {
+      throw util::InvalidInputError("contradictory polarity for '" + word +
+                                    "' in antonym dictionary");
+    }
+    polarity_[word] = p;
+  };
+  set_polarity(positive, Polarity::kPositive);
+  set_polarity(negative, Polarity::kNegative);
+  antonyms_[positive].insert(negative);
+  antonyms_[negative].insert(positive);
+}
+
+bool AntonymDictionary::contains(const std::string& word) const {
+  return polarity_.count(word) > 0;
+}
+
+std::set<std::string> AntonymDictionary::antonyms(const std::string& word) const {
+  const auto it = antonyms_.find(word);
+  return it == antonyms_.end() ? std::set<std::string>{} : it->second;
+}
+
+Polarity AntonymDictionary::polarity(const std::string& word) const {
+  const auto it = polarity_.find(word);
+  return it == polarity_.end() ? Polarity::kUnknown : it->second;
+}
+
+std::string AntonymDictionary::positive_form(const std::string& word) const {
+  switch (polarity(word)) {
+    case Polarity::kPositive:
+      return word;
+    case Polarity::kNegative: {
+      const auto& anto = antonyms_.at(word);
+      speccc_check(!anto.empty(), "negative word with no antonyms");
+      return *anto.begin();
+    }
+    case Polarity::kUnknown:
+      return "";
+  }
+  return "";
+}
+
+AntonymDictionary AntonymDictionary::builtin() {
+  AntonymDictionary dict;
+  // CARA vocabulary (appendix): these pairs drive the appendix reductions --
+  // available pulse wave -> pulse_wave, unavailable -> !pulse_wave, etc.
+  // Note "ready", "clear" and "operational" are deliberately absent: the
+  // appendix keeps ready_infusate, clear_occlusion_line, operational_cara.
+  dict.add_pair("available", "unavailable");
+  dict.add_pair("available", "lost");
+  dict.add_pair("valid", "invalid");
+  dict.add_pair("ok", "low");
+  dict.add_pair("high", "low");
+  dict.add_pair("enabled", "disabled");
+  // TELEPROMISE / robot / generator vocabulary.
+  dict.add_pair("online", "offline");
+  dict.add_pair("open", "closed");
+  dict.add_pair("present", "absent");
+  dict.add_pair("visible", "hidden");
+  dict.add_pair("active", "inactive");
+  dict.add_pair("connected", "disconnected");
+  return dict;
+}
+
+}  // namespace speccc::semantics

@@ -1,0 +1,52 @@
+// Antonym dictionary (paper Section IV-D).
+//
+// The paper looks antonyms up in "an antonym dictionary specified by users",
+// falling back to online lookup. We ship an offline dictionary seeded with
+// the corpus vocabulary; the lookup function is injectable so tests can
+// model the online path (including its failure modes).
+//
+// Each pair carries a polarity: the paper chooses the positive form
+// "randomly"; we make the choice deterministic (the first element of every
+// registered pair is positive) so that translations are reproducible --
+// documented deviation, same semantics.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+namespace speccc::semantics {
+
+enum class Polarity { kPositive, kNegative, kUnknown };
+
+class AntonymDictionary {
+ public:
+  /// Dictionary covering the CARA / TELEPROMISE / robot corpora.
+  static AntonymDictionary builtin();
+
+  AntonymDictionary() = default;
+
+  /// Register a pair; `positive` becomes the positive form. A word may
+  /// participate in several pairs ("low" vs "high" and vs "ok"), but its
+  /// polarity must stay consistent; contradictions throw InvalidInputError.
+  void add_pair(const std::string& positive, const std::string& negative);
+
+  [[nodiscard]] bool contains(const std::string& word) const;
+  [[nodiscard]] std::set<std::string> antonyms(const std::string& word) const;
+  [[nodiscard]] Polarity polarity(const std::string& word) const;
+
+  /// The positive form associated with a word (itself if positive, its
+  /// first registered antonym if negative). Empty for unknown words.
+  [[nodiscard]] std::string positive_form(const std::string& word) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> antonyms_;
+  std::map<std::string, Polarity> polarity_;
+};
+
+/// Signature of an external (e.g. online) antonym resolver, Algorithm 1's
+/// `online(w)`.
+using AntonymResolver = std::function<std::set<std::string>(const std::string&)>;
+
+}  // namespace speccc::semantics

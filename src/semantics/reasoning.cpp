@@ -1,0 +1,117 @@
+#include "semantics/reasoning.hpp"
+
+#include <algorithm>
+
+#include "nlp/dependency.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::semantics {
+
+ReasoningResult reason(const std::vector<nlp::Sentence>& spec,
+                       const AntonymDictionary& dictionary,
+                       const AntonymResolver& online) {
+  ReasoningResult result;
+
+  // Line 2 of Algorithm 1: extract the dependency relation; candidates start
+  // green with empty antonym sets.
+  for (const nlp::Sentence& sentence : spec) {
+    for (const auto& [subject, dependents] : nlp::subject_dependents(sentence)) {
+      auto& group = result.subjects[subject];
+      for (const std::string& w : dependents) {
+        group.insert(w);
+        result.wordset.emplace(w, WordInfo{});
+      }
+    }
+  }
+
+  // Main loop: only groups with more than one candidate can contain a pair.
+  for (auto& [subject, group] : result.subjects) {
+    if (group.size() <= 1) continue;
+    for (const std::string& w : group) {
+      WordInfo& info = result.wordset.at(w);
+      // Lines 4-5: fetch antonyms on first touch (dictionary, then online).
+      if (info.antonyms.empty()) {
+        info.antonyms = dictionary.antonyms(w);
+        if (info.antonyms.empty() && online != nullptr) {
+          ++result.resolver_calls;
+          info.antonyms = online(w);
+        }
+      }
+      // Line 6: intersect with the group.
+      std::set<std::string> hits;
+      std::set_intersection(group.begin(), group.end(), info.antonyms.begin(),
+                            info.antonyms.end(),
+                            std::inserter(hits, hits.begin()));
+      if (hits.empty()) continue;
+      // Lines 7-9: color the pair blue and complete the symmetric antonym
+      // information.
+      info.color = Color::kBlue;
+      for (const std::string& partner : hits) {
+        WordInfo& pinfo = result.wordset.at(partner);
+        pinfo.color = Color::kBlue;
+        pinfo.antonyms.insert(w);
+        // Record the pair once, ordered (positive, negative) when the
+        // dictionary knows the polarity, lexicographically otherwise.
+        std::string pos = w;
+        std::string neg = partner;
+        if (dictionary.polarity(w) == Polarity::kNegative ||
+            dictionary.polarity(partner) == Polarity::kPositive) {
+          std::swap(pos, neg);
+        } else if (dictionary.polarity(w) == Polarity::kUnknown && neg < pos) {
+          std::swap(pos, neg);
+        }
+        const auto pair = std::make_pair(pos, neg);
+        if (std::find(result.pairs.begin(), result.pairs.end(), pair) ==
+            result.pairs.end()) {
+          result.pairs.push_back(pair);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+PropositionReducer::PropositionReducer(ReasoningResult reasoning,
+                                       const AntonymDictionary& dictionary)
+    : reasoning_(std::move(reasoning)), dictionary_(dictionary) {}
+
+Reduction PropositionReducer::decide(const std::string& subject,
+                                     const std::string& word) const {
+  Reduction out;
+
+  // Blue-colored words (paired within this or another subject group) always
+  // reduce; polarity decides the sign.
+  const auto info = reasoning_.wordset.find(word);
+  const bool blue = info != reasoning_.wordset.end() &&
+                    info->second.color == Color::kBlue;
+
+  const Polarity polarity = dictionary_.polarity(word);
+  if (polarity == Polarity::kUnknown) {
+    // Unknown to the dictionary: only reducible when Algorithm 1 paired it
+    // and an ordered pair exists; sign = second element of its pair.
+    if (!blue) return out;
+    for (const auto& [pos, neg] : reasoning_.pairs) {
+      if (pos == word) {
+        out.fold = true;
+        return out;
+      }
+      if (neg == word) {
+        out.fold = true;
+        out.negate = true;
+        return out;
+      }
+    }
+    return out;
+  }
+
+  // Dictionary-polarized candidates reduce unconditionally (the appendix's
+  // abbreviation rule). Flag the ones Algorithm 1 alone would not have
+  // caught.
+  out.fold = true;
+  out.negate = polarity == Polarity::kNegative;
+  out.by_polarity_only = !blue;
+  (void)subject;
+  return out;
+}
+
+}  // namespace speccc::semantics

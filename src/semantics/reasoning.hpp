@@ -1,0 +1,79 @@
+// Semantic reasoning over specifications (paper Section IV-D, Algorithm 1)
+// and the proposition-reduction decisions derived from it.
+//
+// Algorithm 1, faithfully: antonym candidates (adjectives/adverbs) are
+// grouped by the subject they depend on; within each group of size > 1 the
+// dictionary is consulted (falling back to the injectable `online` resolver
+// for unknown words) and semantically contrasting words are paired. Words
+// are colored green (no antonym found in the group) or blue (paired).
+//
+// Proposition reduction: the appendix abbreviates any dictionary-polarized
+// candidate against its subject -- available_pulse_wave becomes pulse_wave,
+// unavailable/lost/not-valid become the negation. Blue-paired words always
+// reduce (that is Algorithm 1's purpose); in addition, a candidate whose
+// polarity the dictionary already knows reduces even when its partner never
+// occurs in the specification ("Air Ok signal remains low" => !air_ok_signal
+// without "high"/"ok" appearing as a complement anywhere). This
+// polarity-driven extension is required to reproduce the paper's appendix
+// and is flagged by Reduction::by_polarity_only.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nlp/syntax.hpp"
+#include "semantics/antonyms.hpp"
+
+namespace speccc::semantics {
+
+enum class Color { kGreen, kBlue };
+
+struct WordInfo {
+  std::set<std::string> antonyms;  // from the dictionary / online resolver
+  Color color = Color::kGreen;
+};
+
+struct ReasoningResult {
+  /// subject -> its antonym candidates (the paper's `subject` map).
+  std::map<std::string, std::set<std::string>> subjects;
+  /// candidate word -> info (the paper's `wordset`).
+  std::map<std::string, WordInfo> wordset;
+  /// Pairs (positive, negative) discovered inside some subject group.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  /// Number of calls to the external resolver (the paper's online lookups).
+  std::size_t resolver_calls = 0;
+};
+
+/// Algorithm 1 over a parsed specification. `online` resolves words missing
+/// from the dictionary; pass nullptr to disable external lookup.
+[[nodiscard]] ReasoningResult reason(const std::vector<nlp::Sentence>& spec,
+                                     const AntonymDictionary& dictionary,
+                                     const AntonymResolver& online = nullptr);
+
+/// How a candidate word combines into its subject's proposition.
+struct Reduction {
+  bool fold = false;    // word disappears from the proposition name
+  bool negate = false;  // word contributes a logical negation
+  bool by_polarity_only = false;  // reduced without a partner in the spec
+};
+
+/// Reduction decisions derived from a reasoning result.
+class PropositionReducer {
+ public:
+  PropositionReducer(ReasoningResult reasoning, const AntonymDictionary& dictionary);
+
+  /// Decision for `word` occurring as a candidate on `subject`.
+  [[nodiscard]] Reduction decide(const std::string& subject,
+                                 const std::string& word) const;
+
+  [[nodiscard]] const ReasoningResult& reasoning() const { return reasoning_; }
+
+ private:
+  ReasoningResult reasoning_;
+  const AntonymDictionary& dictionary_;
+};
+
+}  // namespace speccc::semantics

@@ -1,0 +1,89 @@
+// Bounded-integer arithmetic bit-blasted to SAT.
+//
+// This layer plays the role of Yices 2 in the paper (Section IV-E): the
+// nonlinear constraint system (1)-(2) for time abstraction is encoded over
+// unsigned bit-vectors (ripple-carry adders, shift-and-add multipliers,
+// Tseitin-encoded comparators) and solved through the CDCL solver, with the
+// optimization objective minimized by a descending bound search under
+// assumptions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace speccc::smt {
+
+/// Unsigned bit-vector; bits[0] is the least significant bit. Bits are SAT
+/// literals, so constants and variables mix freely.
+struct BitVec {
+  std::vector<sat::Lit> bits;
+
+  [[nodiscard]] std::size_t width() const { return bits.size(); }
+};
+
+/// Circuit builder over a SAT solver. All methods are pure circuit
+/// constructions; constraints become clauses immediately.
+class Builder {
+ public:
+  explicit Builder(sat::Solver& solver);
+
+  sat::Solver& solver() { return solver_; }
+
+  /// Literal constants (a single variable pinned at level 0).
+  [[nodiscard]] sat::Lit lit_true() const { return true_; }
+  [[nodiscard]] sat::Lit lit_false() const { return true_.negated(); }
+
+  /// Fresh boolean variable.
+  [[nodiscard]] sat::Lit fresh();
+
+  /// Fresh unsigned bit-vector variable of the given width.
+  [[nodiscard]] BitVec var(std::size_t width);
+
+  /// Constant bit-vector. The width must be large enough for the value.
+  [[nodiscard]] BitVec constant(std::uint64_t value, std::size_t width);
+
+  // ---- Gates (Tseitin encoded) ----------------------------------------------
+  [[nodiscard]] sat::Lit land(sat::Lit a, sat::Lit b);
+  [[nodiscard]] sat::Lit lor(sat::Lit a, sat::Lit b);
+  [[nodiscard]] sat::Lit lxor(sat::Lit a, sat::Lit b);
+  [[nodiscard]] sat::Lit mux(sat::Lit sel, sat::Lit then_lit, sat::Lit else_lit);
+
+  // ---- Arithmetic -------------------------------------------------------------
+  /// Sum with one extra output bit (never overflows).
+  [[nodiscard]] BitVec add(const BitVec& a, const BitVec& b);
+  /// Product of width a.width()+b.width() (never overflows).
+  [[nodiscard]] BitVec mul(const BitVec& a, const BitVec& b);
+  /// a zero-extended to the given width (>= a.width()).
+  [[nodiscard]] BitVec zero_extend(const BitVec& a, std::size_t width);
+  /// Conditional: sel ? a : b (widths equalized by zero extension).
+  [[nodiscard]] BitVec select(sat::Lit sel, const BitVec& a, const BitVec& b);
+
+  // ---- Comparisons -------------------------------------------------------------
+  [[nodiscard]] sat::Lit eq(const BitVec& a, const BitVec& b);
+  [[nodiscard]] sat::Lit ult(const BitVec& a, const BitVec& b);
+  [[nodiscard]] sat::Lit ule(const BitVec& a, const BitVec& b);
+  [[nodiscard]] sat::Lit ule_const(const BitVec& a, std::uint64_t bound);
+
+  // ---- Assertions ----------------------------------------------------------------
+  void require(sat::Lit l) { solver_.add_unit(l); }
+  void require_eq(const BitVec& a, const BitVec& b) { require(eq(a, b)); }
+
+  // ---- Solving --------------------------------------------------------------------
+  /// Value of a bit-vector in the current model (call after kSat).
+  [[nodiscard]] std::uint64_t model_value(const BitVec& v) const;
+
+  /// Minimize `objective` subject to the asserted constraints, solving
+  /// repeatedly under descending bound assumptions. Returns the minimal
+  /// value, or nullopt if the constraints are unsatisfiable. After a
+  /// successful call the solver holds a model attaining the minimum.
+  [[nodiscard]] std::optional<std::uint64_t> minimize(const BitVec& objective);
+
+ private:
+  sat::Solver& solver_;
+  sat::Lit true_;
+};
+
+}  // namespace speccc::smt

@@ -1,0 +1,91 @@
+#include "synth/mealy.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::synth {
+
+int MealyMachine::add_state() {
+  next_.emplace_back();
+  return static_cast<int>(next_.size()) - 1;
+}
+
+void MealyMachine::set_transition(int state, Word input, Word output, int next) {
+  speccc_check(state >= 0 && static_cast<std::size_t>(state) < next_.size(),
+               "state out of range");
+  speccc_check(next >= 0 && static_cast<std::size_t>(next) < next_.size(),
+               "successor out of range");
+  next_[static_cast<std::size_t>(state)][input] = {output, next};
+}
+
+bool MealyMachine::has_transition(int state, Word input) const {
+  return next_[static_cast<std::size_t>(state)].count(input) > 0;
+}
+
+Word MealyMachine::output(int state, Word input) const {
+  const auto& row = next_[static_cast<std::size_t>(state)];
+  const auto it = row.find(input);
+  speccc_check(it != row.end(), "missing transition");
+  return it->second.first;
+}
+
+int MealyMachine::next(int state, Word input) const {
+  const auto& row = next_[static_cast<std::size_t>(state)];
+  const auto it = row.find(input);
+  speccc_check(it != row.end(), "missing transition");
+  return it->second.second;
+}
+
+ltl::Valuation MealyMachine::valuation(Word input, Word output) const {
+  ltl::Valuation v;
+  for (std::size_t b = 0; b < signature_.inputs.size(); ++b) {
+    if ((input >> b) & 1) v.insert(signature_.inputs[b]);
+  }
+  for (std::size_t b = 0; b < signature_.outputs.size(); ++b) {
+    if ((output >> b) & 1) v.insert(signature_.outputs[b]);
+  }
+  return v;
+}
+
+std::vector<ltl::Valuation> MealyMachine::run(const std::vector<Word>& inputs) const {
+  std::vector<ltl::Valuation> out;
+  int state = initial();
+  for (Word in : inputs) {
+    const Word o = output(state, in);
+    out.push_back(valuation(in, o));
+    state = next(state, in);
+  }
+  return out;
+}
+
+ltl::Lasso MealyMachine::lasso(const std::vector<Word>& input_prefix,
+                               const std::vector<Word>& input_loop) const {
+  speccc_check(!input_loop.empty(), "input loop must be non-empty");
+  std::vector<ltl::Valuation> steps;
+  int state = initial();
+  for (Word in : input_prefix) {
+    const Word o = output(state, in);
+    steps.push_back(valuation(in, o));
+    state = next(state, in);
+  }
+  // Iterate the loop until (state, loop position) repeats.
+  std::map<std::pair<int, std::size_t>, std::size_t> seen;
+  std::size_t loop_pos = 0;
+  std::size_t loop_start = steps.size();
+  for (;;) {
+    const auto key = std::make_pair(state, loop_pos);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      loop_start = it->second;
+      break;
+    }
+    seen.emplace(key, steps.size());
+    const Word in = input_loop[loop_pos];
+    const Word o = output(state, in);
+    steps.push_back(valuation(in, o));
+    state = next(state, in);
+    loop_pos = (loop_pos + 1) % input_loop.size();
+  }
+  return ltl::Lasso(std::move(steps), loop_start);
+}
+
+}  // namespace speccc::synth

@@ -1,0 +1,56 @@
+#include "synth/mealy_export.hpp"
+
+#include <sstream>
+
+namespace speccc::synth {
+
+namespace {
+
+std::string mask_names(Word mask, const std::vector<std::string>& props) {
+  std::string out;
+  for (std::size_t b = 0; b < props.size(); ++b) {
+    if ((mask >> b) & 1) {
+      if (!out.empty()) out += " ";
+      out += props[b];
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+std::string to_dot(const MealyMachine& machine, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  os << "  init [shape=point];\n  init -> s" << machine.initial() << ";\n";
+  const std::size_t n_inputs = machine.signature().inputs.size();
+  for (int s = 0; s < static_cast<int>(machine.num_states()); ++s) {
+    for (Word in = 0; in < (Word{1} << n_inputs); ++in) {
+      if (!machine.has_transition(s, in)) continue;
+      os << "  s" << s << " -> s" << machine.next(s, in) << " [label=\""
+         << mask_names(in, machine.signature().inputs) << " / "
+         << mask_names(machine.output(s, in), machine.signature().outputs)
+         << "\"];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_csv(const MealyMachine& machine) {
+  std::ostringstream os;
+  os << "state,inputs,outputs,next\n";
+  const std::size_t n_inputs = machine.signature().inputs.size();
+  for (int s = 0; s < static_cast<int>(machine.num_states()); ++s) {
+    for (Word in = 0; in < (Word{1} << n_inputs); ++in) {
+      if (!machine.has_transition(s, in)) continue;
+      os << s << "," << mask_names(in, machine.signature().inputs) << ","
+         << mask_names(machine.output(s, in), machine.signature().outputs)
+         << "," << machine.next(s, in) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace speccc::synth

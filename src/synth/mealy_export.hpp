@@ -1,0 +1,21 @@
+// Export of synthesized controllers: Graphviz DOT for inspection and a
+// plain CSV transition table for downstream tooling -- the paper's
+// "reference model" artifact in shareable form.
+#pragma once
+
+#include <string>
+
+#include "synth/mealy.hpp"
+
+namespace speccc::synth {
+
+/// Graphviz DOT. Transitions are labelled "in1 in2 / out1" with the
+/// propositions that hold; '-' stands for the empty valuation.
+[[nodiscard]] std::string to_dot(const MealyMachine& machine,
+                                 const std::string& name = "controller");
+
+/// CSV with header: state, then one column per input proposition, the
+/// output propositions that hold, and the successor state.
+[[nodiscard]] std::string to_csv(const MealyMachine& machine);
+
+}  // namespace speccc::synth

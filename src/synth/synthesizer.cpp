@@ -1,0 +1,72 @@
+#include "synth/synthesizer.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::synth {
+
+namespace {
+
+std::optional<SynthesisResult> try_symbolic(
+    const std::vector<ltl::Formula>& requirements, const IoSignature& signature,
+    const SynthesisOptions& options) {
+  util::Stopwatch timer;
+  const auto outcome = symbolic_synthesize(requirements, signature, options.symbolic);
+  if (!outcome.has_value()) return std::nullopt;
+  SynthesisResult result;
+  result.verdict = outcome->verdict;
+  result.engine_used = Engine::kSymbolic;
+  result.state_bits = outcome->state_bits;
+  result.peak_bdd_nodes = outcome->peak_bdd_nodes;
+  result.iterations = outcome->fixpoint_iterations;
+  result.controller = outcome->controller;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+SynthesisResult run_bounded(const std::vector<ltl::Formula>& requirements,
+                            const IoSignature& signature,
+                            const SynthesisOptions& options) {
+  util::Stopwatch timer;
+  const ltl::Formula spec = ltl::land(requirements);
+  const auto outcome = bounded_synthesize(spec, signature, options.bounded);
+  SynthesisResult result;
+  result.verdict = outcome.verdict;
+  result.engine_used = Engine::kBounded;
+  result.ucw_states = outcome.ucw_states;
+  result.game_positions = outcome.game_positions;
+  result.iterations = outcome.k_used;
+  result.controller = outcome.controller;
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const std::vector<ltl::Formula>& requirements,
+                           const IoSignature& signature,
+                           const SynthesisOptions& options) {
+  if (requirements.empty()) {
+    throw util::InvalidInputError("cannot synthesize from an empty specification");
+  }
+  switch (options.engine) {
+    case Engine::kSymbolic: {
+      auto result = try_symbolic(requirements, signature, options);
+      if (!result.has_value()) {
+        throw util::InvalidInputError(
+            "specification is outside the symbolic engine's pattern fragment "
+            "or mentions propositions missing from the signature");
+      }
+      return *result;
+    }
+    case Engine::kBounded:
+      return run_bounded(requirements, signature, options);
+    case Engine::kAuto:
+      break;
+  }
+  if (auto result = try_symbolic(requirements, signature, options)) {
+    return *result;
+  }
+  return run_bounded(requirements, signature, options);
+}
+
+}  // namespace speccc::synth

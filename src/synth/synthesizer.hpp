@@ -1,0 +1,55 @@
+// Top-level synthesis driver: the SpecCC stand-in for G4LTL (Section V-A).
+//
+// Given translated requirements and an input/output partition, decides
+// realizability -- the paper's notion of specification consistency -- and
+// optionally extracts a Mealy controller witnessing it.
+//
+// Engine selection: when every requirement lies in the monitorable pattern
+// fragment (everything the Section IV translator emits), the symbolic
+// monitor-composition engine decides the game exactly at Table I scale;
+// otherwise the explicit bounded-synthesis engine handles full LTL on small
+// signatures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ltl/formula.hpp"
+#include "synth/bounded.hpp"
+#include "synth/mealy.hpp"
+#include "synth/symbolic_engine.hpp"
+
+namespace speccc::synth {
+
+enum class Engine { kAuto, kSymbolic, kBounded };
+
+struct SynthesisOptions {
+  Engine engine = Engine::kAuto;
+  BoundedOptions bounded;
+  SymbolicOptions symbolic;
+};
+
+struct SynthesisResult {
+  Realizability verdict = Realizability::kUnknown;
+  Engine engine_used = Engine::kAuto;
+  /// Wall-clock seconds of the realizability check (Table I's time column).
+  double seconds = 0.0;
+  /// Engine statistics (whichever engine ran).
+  std::size_t state_bits = 0;        // symbolic: monitor state bits
+  std::size_t ucw_states = 0;        // bounded: UCW size
+  std::size_t game_positions = 0;    // bounded: peak arena size
+  std::size_t peak_bdd_nodes = 0;    // symbolic
+  int iterations = 0;                // fixpoint rounds / final k
+  std::optional<MealyMachine> controller;
+
+  [[nodiscard]] bool realizable() const {
+    return verdict == Realizability::kRealizable;
+  }
+};
+
+/// Decide realizability of the conjunction of `requirements`.
+[[nodiscard]] SynthesisResult synthesize(const std::vector<ltl::Formula>& requirements,
+                                         const IoSignature& signature,
+                                         const SynthesisOptions& options = {});
+
+}  // namespace speccc::synth

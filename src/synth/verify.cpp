@@ -1,0 +1,208 @@
+#include "synth/verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "automata/gpvw.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::synth {
+
+namespace {
+
+/// Product node: (machine state, NBW state).
+struct Node {
+  int machine;
+  int nbw;
+  friend auto operator<=>(const Node&, const Node&) = default;
+};
+
+struct Edge {
+  Word input;
+  Node target;
+};
+
+/// The product of the machine (inputs nondeterministic) with the NBW of the
+/// negated property. Accepting lassos are property violations.
+class Product {
+ public:
+  Product(const MealyMachine& machine, const automata::Buchi& nbw)
+      : machine_(machine), nbw_(nbw) {
+    n_inputs_ = machine.signature().inputs.size();
+    explore();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Search for a reachable accepting cycle; returns the input word
+  /// (prefix + loop) when found.
+  std::optional<std::pair<std::vector<Word>, std::size_t>> accepting_lasso() {
+    for (std::size_t target = 0; target < nodes_.size(); ++target) {
+      if (!nbw_.accepting[static_cast<std::size_t>(nodes_[target].nbw)]) continue;
+      const auto prefix = path(0, static_cast<int>(target),
+                               /*at_least_one_step=*/target != 0);
+      if (!prefix) continue;
+      const auto loop = path(static_cast<int>(target), static_cast<int>(target),
+                             /*at_least_one_step=*/true);
+      if (!loop) continue;
+      std::vector<Word> inputs = *prefix;
+      const std::size_t loop_start = inputs.size();
+      inputs.insert(inputs.end(), loop->begin(), loop->end());
+      return std::make_pair(std::move(inputs), loop_start);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int intern(Node node) {
+    const auto it = index_.find(node);
+    if (it != index_.end()) return it->second;
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    index_.emplace(node, id);
+    edges_.emplace_back();
+    work_.push_back(id);
+    return id;
+  }
+
+  void explore() {
+    (void)intern({machine_.initial(), nbw_.initial});
+    while (!work_.empty()) {
+      const int id = work_.back();
+      work_.pop_back();
+      const Node node = nodes_[static_cast<std::size_t>(id)];
+      for (Word in = 0; in < (Word{1} << n_inputs_); ++in) {
+        if (!machine_.has_transition(node.machine, in)) continue;
+        const Word out = machine_.output(node.machine, in);
+        const int mnext = machine_.next(node.machine, in);
+        const ltl::Valuation v = machine_.valuation(in, out);
+        for (const automata::Transition& t :
+             nbw_.transitions[static_cast<std::size_t>(node.nbw)]) {
+          if (!t.label.matches(v)) continue;
+          const int tid = intern({mnext, t.target});
+          edges_[static_cast<std::size_t>(id)].push_back({in, nodes_[static_cast<std::size_t>(tid)]});
+        }
+      }
+    }
+  }
+
+  /// BFS over product edges; returns the input labels of a shortest path.
+  std::optional<std::vector<Word>> path(int from, int to, bool at_least_one_step) {
+    if (from == to && !at_least_one_step) return std::vector<Word>{};
+    std::vector<int> parent(nodes_.size(), -2);
+    std::vector<Word> via(nodes_.size(), 0);
+    std::vector<int> queue{from};
+    parent[static_cast<std::size_t>(from)] = -1;
+    std::size_t head = 0;
+    while (head < queue.size()) {
+      const int cur = queue[head++];
+      for (const Edge& e : edges_[static_cast<std::size_t>(cur)]) {
+        const int tgt = index_.at(e.target);
+        if (tgt == to) {
+          std::vector<Word> labels{e.input};
+          for (int walk = cur; walk != from;
+               walk = parent[static_cast<std::size_t>(walk)]) {
+            labels.push_back(via[static_cast<std::size_t>(walk)]);
+          }
+          std::reverse(labels.begin(), labels.end());
+          return labels;
+        }
+        if (parent[static_cast<std::size_t>(tgt)] == -2) {
+          parent[static_cast<std::size_t>(tgt)] = cur;
+          via[static_cast<std::size_t>(tgt)] = e.input;
+          queue.push_back(tgt);
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  const MealyMachine& machine_;
+  const automata::Buchi& nbw_;
+  std::size_t n_inputs_ = 0;
+  std::vector<Node> nodes_;
+  std::map<Node, int> index_;
+  std::vector<std::vector<Edge>> edges_;
+  std::vector<int> work_;
+};
+
+}  // namespace
+
+VerificationResult verify(const MealyMachine& machine, ltl::Formula property) {
+  // Guard against alphabet blowup: the product enumerates 2^|inputs|.
+  speccc_check(machine.signature().inputs.size() <= 16,
+               "verify() enumerates inputs explicitly; signature too large");
+
+  const automata::Buchi negated = automata::ltl_to_nbw(ltl::lnot(property));
+  Product product(machine, negated);
+
+  VerificationResult result;
+  result.product_states = product.size();
+  const auto lasso = product.accepting_lasso();
+  if (!lasso) {
+    result.holds = true;
+    return result;
+  }
+  CounterExample cex{lasso->first, lasso->second,
+                     machine.lasso({lasso->first.begin(),
+                                    lasso->first.begin() +
+                                        static_cast<std::ptrdiff_t>(lasso->second)},
+                                   {lasso->first.begin() +
+                                        static_cast<std::ptrdiff_t>(lasso->second),
+                                    lasso->first.end()})};
+  result.holds = false;
+  result.counterexample = std::move(cex);
+  return result;
+}
+
+std::vector<TestCase> transition_tour(const MealyMachine& machine) {
+  const std::size_t n_inputs = machine.signature().inputs.size();
+  const Word input_count = Word{1} << n_inputs;
+
+  // Shortest input word reaching every state (BFS from the initial state).
+  std::vector<std::vector<Word>> reach_word(machine.num_states());
+  std::vector<bool> reached(machine.num_states(), false);
+  std::queue<int> queue;
+  reached[static_cast<std::size_t>(machine.initial())] = true;
+  queue.push(machine.initial());
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop();
+    for (Word in = 0; in < input_count; ++in) {
+      if (!machine.has_transition(cur, in)) continue;
+      const int next = machine.next(cur, in);
+      if (!reached[static_cast<std::size_t>(next)]) {
+        reached[static_cast<std::size_t>(next)] = true;
+        reach_word[static_cast<std::size_t>(next)] =
+            reach_word[static_cast<std::size_t>(cur)];
+        reach_word[static_cast<std::size_t>(next)].push_back(in);
+        queue.push(next);
+      }
+    }
+  }
+
+  // One test case per reachable state: drive there, then exercise every
+  // outgoing transition in sequence, greedily chaining transitions that
+  // stay within the current case.
+  std::vector<TestCase> suite;
+  for (int s = 0; s < static_cast<int>(machine.num_states()); ++s) {
+    if (!reached[static_cast<std::size_t>(s)]) continue;
+    for (Word in = 0; in < input_count; ++in) {
+      if (!machine.has_transition(s, in)) continue;
+      TestCase test;
+      test.inputs = reach_word[static_cast<std::size_t>(s)];
+      test.inputs.push_back(in);
+      // Expected outputs by replaying the machine.
+      int state = machine.initial();
+      for (Word step : test.inputs) {
+        test.expected_outputs.push_back(machine.output(state, step));
+        state = machine.next(state, step);
+      }
+      suite.push_back(std::move(test));
+    }
+  }
+  return suite;
+}
+
+}  // namespace speccc::synth

@@ -1,0 +1,69 @@
+// Closing the paper's loop: the synthesized controller as a *reference
+// model* and a *test-case generator* (Section I motivates both).
+//
+//   * verify(): exhaustive LTL model checking of a Mealy machine -- the
+//     product of the machine (with the environment's inputs left
+//     nondeterministic) and the Buechi automaton of the negated property is
+//     searched for an accepting lasso. A nonempty product yields a concrete
+//     input-sequence counterexample; an empty one proves the controller
+//     satisfies the property on every environment behaviour. Property tests
+//     use this to prove -- not just sample -- that synthesis output
+//     implements the specification.
+//
+//   * transition_tour(): structural test-suite generation -- a set of input
+//     sequences from the initial state that exercises every reachable
+//     transition of the machine, with the expected output word recorded for
+//     each step (the classic conformance-testing transition tour).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ltl/formula.hpp"
+#include "ltl/trace.hpp"
+#include "synth/mealy.hpp"
+
+namespace speccc::synth {
+
+struct CounterExample {
+  /// Input masks driving the machine into the violation; the trace loops
+  /// over the suffix starting at loop_start.
+  std::vector<Word> inputs;
+  std::size_t loop_start = 0;
+  /// The combined (input + output) trace, ready for ltl::evaluate.
+  ltl::Lasso trace;
+};
+
+struct VerificationResult {
+  bool holds = false;
+  std::optional<CounterExample> counterexample;
+  std::size_t product_states = 0;  // explored product size (diagnostics)
+};
+
+/// Does the machine satisfy `property` under every input sequence?
+/// The machine must be input-complete (synthesized machines are).
+[[nodiscard]] VerificationResult verify(const MealyMachine& machine,
+                                        ltl::Formula property);
+
+/// One test case: an input word and the machine's expected outputs.
+struct TestCase {
+  std::vector<Word> inputs;
+  std::vector<Word> expected_outputs;
+};
+
+/// A transition tour: test cases covering every reachable transition at
+/// least once. Deterministic; each case starts from the initial state.
+[[nodiscard]] std::vector<TestCase> transition_tour(const MealyMachine& machine);
+
+/// Replay a test case against an implementation (any callable
+/// (state-less) step function Word -> Word); true when every output
+/// matches. Used to check implementations against the reference model.
+template <typename Step>
+[[nodiscard]] bool replay(const TestCase& test, Step step) {
+  for (std::size_t i = 0; i < test.inputs.size(); ++i) {
+    if (step(test.inputs[i]) != test.expected_outputs[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace speccc::synth

@@ -1,0 +1,72 @@
+// Time counting and abstraction (paper Section IV-E).
+//
+// Requirements with timing constraints ("... in 3 seconds") translate to
+// chains of Next operators; long chains blow up synthesis. This module
+// rewrites the chain lengths Theta = {theta_0..theta_n}:
+//
+//   * gcd_abstraction: divide every theta by gcd(Theta) -- sound (exactly
+//     realizability-preserving) but conservative.
+//   * optimize: the paper's constraint system (1)-(2),
+//         theta_i = theta'_i * d + Delta_i,   -d < Delta_i < d,
+//     with a per-requirement arrival-error sign (early: Delta >= 0, late:
+//     Delta <= 0, or either), a user bound B on sum |Delta_i|, primary
+//     objective min sum theta'_i and secondary objective min sum |Delta_i|.
+//
+// Two interchangeable back-ends solve the optimization:
+//   * kEnumeration -- exact reference: enumerate the divisor d; for fixed d
+//     and sign the decomposition is unique, and the "either" sign becomes a
+//     small lexicographic knapsack over the error budget.
+//   * kSmt -- the paper's route: bit-blasting to SAT (our Yices 2 stand-in)
+//     with a descending bound search per objective.
+// Property tests assert both back-ends agree on (sum theta', sum |Delta|).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::timeabs {
+
+enum class ErrorSign {
+  kEarly,   // Delta_i >= 0: the event may arrive earlier after rewriting
+  kLate,    // Delta_i <= 0: the event may arrive later
+  kEither,  // solver chooses (still one-sided per requirement)
+};
+
+enum class Backend { kEnumeration, kSmt };
+
+struct Request {
+  /// Distinct Next-chain lengths, all >= 1.
+  std::vector<std::uint32_t> thetas;
+  /// Upper bound B on the summed absolute errors.
+  std::uint32_t error_budget = 0;
+  /// Per-theta sign restriction; empty means kEarly for all (the paper's
+  /// running example).
+  std::vector<ErrorSign> signs;
+};
+
+struct Abstraction {
+  std::uint32_t divisor = 1;           // d
+  std::vector<std::uint32_t> reduced;  // theta'_i
+  std::vector<std::int64_t> errors;    // Delta_i (signed)
+  std::uint64_t reduced_sum = 0;       // sum theta'_i (primary objective)
+  std::uint64_t error_sum = 0;         // sum |Delta_i| (secondary objective)
+};
+
+/// GCD reduction: divisor = gcd(Theta), all errors zero. Requires a
+/// non-empty theta list.
+[[nodiscard]] Abstraction gcd_abstraction(const std::vector<std::uint32_t>& thetas);
+
+/// Solve the optimization problem. Returns nullopt iff no divisor admits the
+/// error budget (this cannot happen: d = 1 always yields zero error, so a
+/// nullopt signals an invalid request such as an empty theta list handled by
+/// throwing InvalidInputError instead).
+[[nodiscard]] std::optional<Abstraction> optimize(const Request& request,
+                                                  Backend backend);
+
+/// Convenience: optimal abstraction with the enumeration backend.
+[[nodiscard]] Abstraction optimize_exact(const Request& request);
+
+}  // namespace speccc::timeabs

@@ -1,0 +1,300 @@
+#include "translate/translator.hpp"
+
+#include <algorithm>
+
+#include "util/diagnostics.hpp"
+#include "util/strings.hpp"
+
+namespace speccc::translate {
+
+namespace {
+
+using ltl::Formula;
+using nlp::Clause;
+using nlp::ClauseGroup;
+using nlp::NounPhrase;
+using nlp::Predicate;
+using nlp::PredicateKind;
+using semantics::PropositionReducer;
+using semantics::Reduction;
+
+/// Builds the proposition (possibly negated) for one subject of a clause.
+struct Literal {
+  Formula formula;
+};
+
+class ClauseTranslator {
+ public:
+  ClauseTranslator(const Options& options, const PropositionReducer* reducer,
+                   const TickMapper& tick_mapper, const std::string& pronoun_referent)
+      : options_(options),
+        reducer_(reducer),
+        tick_mapper_(tick_mapper),
+        pronoun_referent_(pronoun_referent) {}
+
+  Formula run(const Clause& clause, std::vector<unsigned>* delays) const {
+    // One literal per subject, combined with the subject conjunction.
+    std::vector<Formula> parts;
+    for (const NounPhrase& np : clause.subjects) {
+      parts.push_back(subject_literal(clause, np));
+    }
+    Formula body = clause.subject_conjunction == "or" ? ltl::lor(parts)
+                                                       : ltl::land(parts);
+
+    // Future tense / "eventually" modifier: F. A timing constraint
+    // overrides the open-ended future with a concrete deadline.
+    const bool timed = clause.constraint.has_value();
+    if (!timed &&
+        (clause.predicate.future || clause.modifier == "eventually" ||
+         clause.modifier == "sometimes")) {
+      body = ltl::eventually(body);
+    }
+    if (timed) {
+      unsigned ticks = clause.constraint->total_seconds() / options_.seconds_per_tick;
+      if (delays != nullptr && ticks > 0) delays->push_back(ticks);
+      if (tick_mapper_ != nullptr) ticks = tick_mapper_(ticks);
+      body = ltl::next_n(body, ticks);
+    }
+    if (clause.next_marked && options_.next_mode == NextMode::kStrict) {
+      body = ltl::next(body);
+    }
+    return body;
+  }
+
+ private:
+  /// Proposition naming: predicate_subject for verbal predicates,
+  /// complement_subject for unreduced copular complements, subject alone for
+  /// reduced ones, subject_prep_object for prepositional predicates.
+  Formula subject_literal(const Clause& clause, const NounPhrase& np) const {
+    const Predicate& pred = clause.predicate;
+    bool negated = pred.negated;
+
+    // Resolve the subject name, folding reduced noun-phrase adjectives.
+    std::vector<std::string> name_words;
+    if (np.pronoun) {
+      speccc_check(!pronoun_referent_.empty(),
+                   "pronoun subject with no referent in scope");
+      name_words.push_back(pronoun_referent_);
+    } else {
+      for (const nlp::NpWord& w : np.words) {
+        if (w.pos == nlp::Pos::kAdjective && !w.capitalized &&
+            reducer_ != nullptr) {
+          const Reduction r = reducer_->decide("", w.text);
+          if (r.fold) {
+            if (r.negate) negated = !negated;
+            continue;
+          }
+        }
+        name_words.push_back(w.text);
+      }
+    }
+    speccc_check(!name_words.empty(), "empty subject after reduction");
+    const std::string subject = util::join(name_words, "_");
+
+    Formula prop;
+    switch (pred.kind) {
+      case PredicateKind::kCopula: {
+        // Complements: reduced ones fold into the sign; unreduced ones name
+        // the proposition complement_subject (low_air_ok_signal).
+        std::vector<Formula> conj;
+        bool folded_only = true;
+        for (const std::string& c : pred.complements) {
+          if (reducer_ != nullptr) {
+            const Reduction r = reducer_->decide(subject, c);
+            if (r.fold) {
+              if (r.negate) negated = !negated;
+              continue;
+            }
+          }
+          folded_only = false;
+          conj.push_back(ltl::ap(c + "_" + subject));
+        }
+        if (folded_only) {
+          prop = ltl::ap(subject);
+        } else {
+          prop = ltl::land(conj);
+        }
+        break;
+      }
+      case PredicateKind::kPassive:
+      case PredicateKind::kProgressive:
+        prop = ltl::ap(pred.verb_lemma + "_" + subject);
+        break;
+      case PredicateKind::kActive:
+        if (!pred.objects.empty()) {
+          prop = ltl::ap(pred.verb_lemma + "_" + pred.objects.front().joined());
+        } else {
+          prop = ltl::ap(pred.verb_lemma + "_" + subject);
+        }
+        break;
+      case PredicateKind::kPreposition: {
+        // Coordinated objects fold into a disjunction/conjunction of
+        // subject_prep_object propositions ("is in room 1 or room 2").
+        std::vector<Formula> props;
+        for (const NounPhrase& object : pred.objects) {
+          props.push_back(ltl::ap(subject + "_" + pred.preposition + "_" +
+                                  object.joined()));
+        }
+        prop = pred.object_conjunction == "and" ? ltl::land(props)
+                                                : ltl::lor(props);
+        break;
+      }
+    }
+    return negated ? ltl::lnot(prop) : prop;
+  }
+
+  const Options& options_;
+  const PropositionReducer* reducer_;
+  const TickMapper& tick_mapper_;
+  const std::string& pronoun_referent_;
+};
+
+}  // namespace
+
+Translator::Translator(const nlp::Lexicon& lexicon,
+                       const semantics::AntonymDictionary& dictionary,
+                       Options options)
+    : lexicon_(lexicon), dictionary_(dictionary), options_(options) {}
+
+namespace {
+
+/// Fold a clause group into one formula using the inter-clause connectives.
+Formula group_formula(const ClauseGroup& group, const ClauseTranslator& ct,
+                      std::vector<unsigned>* delays) {
+  speccc_check(!group.clauses.empty(), "empty clause group");
+  Formula acc = ct.run(group.clauses.front().second, delays);
+  for (std::size_t i = 1; i < group.clauses.size(); ++i) {
+    const auto& [conn, clause] = group.clauses[i];
+    const Formula f = ct.run(clause, delays);
+    acc = conn == "or" ? ltl::lor(acc, f) : ltl::land(acc, f);
+  }
+  return acc;
+}
+
+/// The name of the first subject of the main clause (after reduction), used
+/// as the referent of "it" in trailing subclauses.
+std::string main_referent(const nlp::Sentence& sentence,
+                          const PropositionReducer* reducer) {
+  if (sentence.main.clauses.empty()) return "";
+  const Clause& clause = sentence.main.clauses.front().second;
+  if (clause.subjects.empty() || clause.subjects.front().pronoun) return "";
+  std::vector<std::string> words;
+  for (const nlp::NpWord& w : clause.subjects.front().words) {
+    if (w.pos == nlp::Pos::kAdjective && !w.capitalized && reducer != nullptr &&
+        reducer->decide("", w.text).fold) {
+      continue;
+    }
+    words.push_back(w.text);
+  }
+  return util::join(words, "_");
+}
+
+}  // namespace
+
+ltl::Formula Translator::translate_sentence(const nlp::Sentence& sentence,
+                                            const PropositionReducer* reducer,
+                                            const TickMapper& tick_mapper) const {
+  return [&]() -> Formula {
+    const std::string referent = main_referent(sentence, reducer);
+    const ClauseTranslator ct(options_, reducer, tick_mapper, referent);
+    std::vector<unsigned> sink;
+
+    Formula main = group_formula(sentence.main, ct, &sink);
+
+    // Trailing until-subclause: the paper's template (Req-49),
+    //   main until q  ==>  (!q -> (main W q)).
+    if (sentence.until.has_value()) {
+      const Formula q = group_formula(*sentence.until, ct, &sink);
+      main = ltl::implies(ltl::lnot(q), ltl::weak_until(main, q));
+    }
+
+    // Conditional subclauses nest right-to-left: the first group is the
+    // outermost antecedent (Req-17.4).
+    Formula body = main;
+    for (auto it = sentence.conditions.rbegin(); it != sentence.conditions.rend();
+         ++it) {
+      body = ltl::implies(group_formula(*it, ct, &sink), body);
+    }
+
+    // Universality wrapper; a bare existential main clause stays F-only
+    // (the Existence pattern).
+    if (sentence.conditions.empty() && !sentence.until.has_value() &&
+        body.op() == ltl::Op::kEventually) {
+      return body;
+    }
+    return ltl::always(body);
+  }();
+}
+
+TranslationResult Translator::translate(
+    const std::vector<RequirementText>& requirements,
+    const TickMapper& tick_mapper) const {
+  TranslationResult result;
+
+  // Phase 1: parse everything (Algorithm 1 needs the whole specification).
+  std::vector<nlp::Sentence> sentences;
+  for (const RequirementText& req : requirements) {
+    sentences.push_back(nlp::parse_sentence(req.text, lexicon_));
+  }
+
+  // Phase 2: semantic reasoning over the whole specification.
+  std::optional<PropositionReducer> reducer;
+  if (options_.semantic_reasoning) {
+    result.reasoning = semantics::reason(sentences, dictionary_);
+    reducer.emplace(result.reasoning, dictionary_);
+  }
+
+  // Phase 3: per-sentence translation.
+  for (std::size_t i = 0; i < requirements.size(); ++i) {
+    TranslatedRequirement tr;
+    tr.id = requirements[i].id;
+    tr.text = requirements[i].text;
+    tr.sentence = sentences[i];
+
+    const std::string referent =
+        main_referent(sentences[i], reducer ? &*reducer : nullptr);
+    const ClauseTranslator ct(options_, reducer ? &*reducer : nullptr,
+                              tick_mapper, referent);
+    // Re-run the sentence translation but harvesting delays.
+    Formula main = group_formula(sentences[i].main, ct, &tr.delays);
+    if (sentences[i].until.has_value()) {
+      const Formula q = group_formula(*sentences[i].until, ct, &tr.delays);
+      main = ltl::implies(ltl::lnot(q), ltl::weak_until(main, q));
+    }
+    Formula body = main;
+    for (auto it = sentences[i].conditions.rbegin();
+         it != sentences[i].conditions.rend(); ++it) {
+      body = ltl::implies(group_formula(*it, ct, &tr.delays), body);
+    }
+    if (sentences[i].conditions.empty() && !sentences[i].until.has_value() &&
+        body.op() == ltl::Op::kEventually) {
+      tr.formula = body;
+    } else {
+      tr.formula = ltl::always(body);
+    }
+
+    const auto atoms = tr.formula.atoms();
+    result.propositions.insert(atoms.begin(), atoms.end());
+    result.requirements.push_back(std::move(tr));
+  }
+  return result;
+}
+
+std::vector<ltl::Formula> TranslationResult::formulas() const {
+  std::vector<ltl::Formula> out;
+  out.reserve(requirements.size());
+  for (const auto& r : requirements) out.push_back(r.formula);
+  return out;
+}
+
+std::vector<std::uint32_t> TranslationResult::thetas() const {
+  std::set<std::uint32_t> set;
+  for (const auto& r : requirements) {
+    for (unsigned d : r.delays) {
+      if (d > 0) set.insert(d);
+    }
+  }
+  return {set.begin(), set.end()};
+}
+
+}  // namespace speccc::translate

@@ -1,0 +1,15 @@
+#include "util/diagnostics.hpp"
+
+#include <sstream>
+
+namespace speccc::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << message << " [" << expr << " at "
+     << file << ":" << line << "]";
+  throw InternalError(os.str());
+}
+
+}  // namespace speccc::util

@@ -1,0 +1,101 @@
+// Diagnostics: error types, invariant checks, and a scoped wall-clock timer.
+//
+// Every SpecCC library reports user-facing failures through SpecError (and
+// its subclasses) and programming errors through speccc_check(), which
+// throws InternalError instead of aborting so that tests can exercise
+// failure paths.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace speccc::util {
+
+/// Base class for all user-facing SpecCC errors.
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A requirement sentence that does not conform to the structured-English
+/// grammar, or a malformed LTL string.
+class ParseError : public SpecError {
+ public:
+  explicit ParseError(const std::string& what) : SpecError(what) {}
+};
+
+/// A stage was invoked with inputs violating its documented precondition
+/// (e.g. an infeasible time-abstraction error budget).
+class InvalidInputError : public SpecError {
+ public:
+  explicit InvalidInputError(const std::string& what) : SpecError(what) {}
+};
+
+/// Violated internal invariant: indicates a bug in SpecCC itself.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+/// Wall-clock stopwatch used by the pipeline and the Table I harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by the corpus generators so
+/// that every Table I row is reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int range(int lo, int hi) {
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability num/den.
+  bool chance(unsigned num, unsigned den) { return below(den) < num; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace speccc::util
+
+/// Invariant check that throws InternalError (never aborts). Usable in
+/// constant contexts where the condition is cheap.
+#define speccc_check(expr, message)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::speccc::util::check_failed(#expr, __FILE__, __LINE__, (message)); \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,30 @@
+// Small string helpers shared across the NLP and reporting code.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speccc::util {
+
+/// Lower-case an ASCII string (the structured-English subset is ASCII).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Split on a single character, dropping empty pieces if drop_empty.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep,
+                                             bool drop_empty = true);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// True if every character is an ASCII letter, digit, or underscore.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+}  // namespace speccc::util

@@ -1,0 +1,149 @@
+// Tests for the Buechi substrate: cube semantics, GPVW translation checked
+// against the LTL lasso semantics (the strongest property we have), pruning,
+// and membership.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/buchi.hpp"
+#include "automata/gpvw.hpp"
+#include "ltl/parser.hpp"
+#include "ltl/trace.hpp"
+#include "util/diagnostics.hpp"
+
+namespace automata = speccc::automata;
+namespace ltl = speccc::ltl;
+
+namespace {
+
+TEST(Cube, ConsistencyAndMatching) {
+  automata::Cube c;
+  c.pos.insert("a");
+  c.neg.insert("b");
+  EXPECT_TRUE(c.consistent());
+  EXPECT_TRUE(c.matches({"a"}));
+  EXPECT_TRUE(c.matches({"a", "c"}));
+  EXPECT_FALSE(c.matches({"a", "b"}));
+  EXPECT_FALSE(c.matches({}));
+
+  automata::Cube contradictory = c.meet(automata::Cube{{"b"}, {}});
+  EXPECT_FALSE(contradictory.consistent());
+}
+
+TEST(Cube, EmptyCubeMatchesEverything) {
+  automata::Cube c;
+  EXPECT_TRUE(c.consistent());
+  EXPECT_TRUE(c.matches({}));
+  EXPECT_TRUE(c.matches({"x", "y"}));
+}
+
+ltl::Lasso make_lasso(std::vector<ltl::Valuation> steps, std::size_t loop) {
+  return ltl::Lasso(std::move(steps), loop);
+}
+
+TEST(Gpvw, SingleProposition) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("a"));
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{"a"}}, 0)));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{}}, 0)));
+}
+
+TEST(Gpvw, AlwaysEventually) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("G F a"));
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{}, {"a"}}, 0)));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{"a"}, {}}, 1)));
+}
+
+TEST(Gpvw, UntilRequiresRelease) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("a U b"));
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{"a"}, {"b"}, {}}, 2)));
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{"b"}, {}}, 1)));
+  // a forever without b: not accepted (strong until).
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{"a"}}, 0)));
+}
+
+TEST(Gpvw, UnsatisfiableFormulaHasEmptyLanguage) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("a && !a"));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{"a"}}, 0)));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{}}, 0)));
+}
+
+TEST(Gpvw, FalseConstant) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("false"));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{}}, 0)));
+}
+
+TEST(Gpvw, PaperFootnoteAutomaton) {
+  // G (out <-> X X X in): the NBW must accept the anticipating trace and
+  // reject a violating one.
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("G (out <-> X X X in)"));
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{}}, 0)));
+  // out true now but in false three steps later (all-empty loop).
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{"out"}, {}}, 1)));
+}
+
+TEST(Gpvw, UcwViewIsComplementConstruction) {
+  // UCW for phi is NBW for !phi: a word satisfies phi iff the NBW rejects.
+  const ltl::Formula phi = ltl::parse("G (a -> F b)");
+  const auto ucw = automata::ucw_for(phi);
+  const auto good = make_lasso({{"a"}, {"b"}}, 1);
+  const auto bad = make_lasso({{"a"}, {}}, 1);
+  EXPECT_TRUE(ltl::evaluate(phi, good));
+  EXPECT_FALSE(automata::accepts_lasso(ucw, good));
+  EXPECT_FALSE(ltl::evaluate(phi, bad));
+  EXPECT_TRUE(automata::accepts_lasso(ucw, bad));
+}
+
+TEST(Prune, KeepsLanguage) {
+  const ltl::Formula phi = ltl::parse("F (a && X a)");
+  const auto nbw = automata::ltl_to_nbw(phi);  // ltl_to_nbw already prunes
+  EXPECT_TRUE(automata::accepts_lasso(nbw, make_lasso({{}, {"a"}, {"a"}, {}}, 3)));
+  EXPECT_FALSE(automata::accepts_lasso(nbw, make_lasso({{"a"}, {}}, 1)));
+}
+
+TEST(Prune, EmptyLanguageCollapses) {
+  automata::Buchi b;
+  b.initial = 0;
+  b.transitions.assign(2, {});
+  b.accepting = {false, true};
+  // Accepting state unreachable; no cycles at all.
+  b.transitions[1].push_back({automata::Cube{}, 1});
+  const auto pruned = automata::prune(b);
+  EXPECT_EQ(pruned.num_states(), 1u);
+  EXPECT_FALSE(automata::accepts_lasso(pruned, make_lasso({{}}, 0)));
+}
+
+// The central property test: GPVW agrees with the trace semantics on a
+// formula family x lasso family grid.
+class GpvwSemanticsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GpvwSemanticsTest, AgreesWithTraceSemantics) {
+  const ltl::Formula f = ltl::parse(GetParam());
+  const auto nbw = automata::ltl_to_nbw(f);
+
+  speccc::util::Rng rng(0xbadc0ffeULL);
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t len = 1 + rng.below(6);
+    const std::size_t loop = rng.below(len);
+    std::vector<ltl::Valuation> steps(len);
+    for (auto& step : steps) {
+      for (const char* name : {"a", "b", "c"}) {
+        if (rng.chance(1, 2)) step.insert(name);
+      }
+    }
+    const ltl::Lasso w(steps, loop);
+    EXPECT_EQ(ltl::evaluate(f, w), automata::accepts_lasso(nbw, w))
+        << "formula " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GpvwSemanticsTest,
+    ::testing::Values("a", "!a", "X a", "X X b", "F a", "G a", "a U b",
+                      "a W b", "a R b", "G F a", "F G a", "G (a -> F b)",
+                      "G (a -> X X b)", "(a U b) U c", "G (a -> (b W c))",
+                      "F (a && X (b U c))", "G (a -> X b) && F c",
+                      "!(a U b) || F c", "G ((a && !b) -> X (b R c))",
+                      "a U (b U c)", "G (a <-> X b)"));
+
+}  // namespace

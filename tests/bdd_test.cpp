@@ -1,0 +1,231 @@
+// Tests for the BDD package: canonicity, boolean algebra, quantification,
+// composition, and a brute-force cross-check against truth tables.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "util/diagnostics.hpp"
+
+namespace bdd = speccc::bdd;
+
+namespace {
+
+class BddTest : public ::testing::Test {
+ protected:
+  bdd::Manager mgr;
+};
+
+TEST_F(BddTest, TerminalsAreDistinct) {
+  EXPECT_TRUE(mgr.bdd_true().is_true());
+  EXPECT_TRUE(mgr.bdd_false().is_false());
+  EXPECT_NE(mgr.bdd_true(), mgr.bdd_false());
+}
+
+TEST_F(BddTest, CanonicityIdenticalFunctionsShareNodes) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  bdd::Bdd f = mgr.bdd_or(mgr.var(a), mgr.var(b));
+  bdd::Bdd g = mgr.bdd_not(mgr.bdd_and(mgr.nvar(a), mgr.nvar(b)));
+  EXPECT_EQ(f, g);  // De Morgan, structurally canonical
+}
+
+TEST_F(BddTest, BasicAlgebra) {
+  const int a = mgr.new_var();
+  bdd::Bdd va = mgr.var(a);
+  EXPECT_EQ(va & !va, mgr.bdd_false());
+  EXPECT_EQ(va | !va, mgr.bdd_true());
+  EXPECT_EQ(va ^ va, mgr.bdd_false());
+  EXPECT_EQ(mgr.implies(mgr.bdd_false(), va), mgr.bdd_true());
+  EXPECT_EQ(mgr.iff(va, va), mgr.bdd_true());
+}
+
+TEST_F(BddTest, IteMatchesDefinition) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.ite(mgr.var(a), mgr.var(b), mgr.var(c));
+  // Evaluate all 8 assignments.
+  for (int m = 0; m < 8; ++m) {
+    std::vector<bool> assignment{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    const bool expected = assignment[0] ? assignment[1] : assignment[2];
+    EXPECT_EQ(mgr.evaluate(f, assignment), expected);
+  }
+}
+
+TEST_F(BddTest, ExistsQuantification) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  // exists a. (a && b) == b
+  bdd::Bdd f = mgr.bdd_and(mgr.var(a), mgr.var(b));
+  EXPECT_EQ(mgr.exists(f, {a}), mgr.var(b));
+  // exists b. (a && b) == a
+  EXPECT_EQ(mgr.exists(f, {b}), mgr.var(a));
+  // exists a b. (a && b) == true
+  EXPECT_EQ(mgr.exists(f, {a, b}), mgr.bdd_true());
+}
+
+TEST_F(BddTest, ForallQuantification) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  // forall a. (a || b) == b
+  bdd::Bdd f = mgr.bdd_or(mgr.var(a), mgr.var(b));
+  EXPECT_EQ(mgr.forall(f, {a}), mgr.var(b));
+  // forall a. (a && b) == false
+  EXPECT_EQ(mgr.forall(mgr.bdd_and(mgr.var(a), mgr.var(b)), {a}),
+            mgr.bdd_false());
+}
+
+TEST_F(BddTest, RestrictFixesVariable) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  bdd::Bdd f = mgr.ite(mgr.var(a), mgr.var(b), mgr.nvar(b));
+  EXPECT_EQ(mgr.restrict_var(f, a, true), mgr.var(b));
+  EXPECT_EQ(mgr.restrict_var(f, a, false), mgr.nvar(b));
+}
+
+TEST_F(BddTest, VectorComposeSubstitutesFunctions) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  // f = a && b; substitute a := (b || c): expect (b || c) && b == b.
+  bdd::Bdd f = mgr.bdd_and(mgr.var(a), mgr.var(b));
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  map[static_cast<std::size_t>(a)] = mgr.bdd_or(mgr.var(b), mgr.var(c));
+  EXPECT_EQ(mgr.vector_compose(f, map), mgr.var(b));
+}
+
+TEST_F(BddTest, VectorComposeSimultaneous) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  // Swap a and b in f = a && !b: result should be b && !a.
+  bdd::Bdd f = mgr.bdd_and(mgr.var(a), mgr.nvar(b));
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  map[static_cast<std::size_t>(a)] = mgr.var(b);
+  map[static_cast<std::size_t>(b)] = mgr.var(a);
+  EXPECT_EQ(mgr.vector_compose(f, map), mgr.bdd_and(mgr.var(b), mgr.nvar(a)));
+}
+
+TEST_F(BddTest, PickModelReturnsSatisfyingAssignment) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.bdd_and(mgr.bdd_and(mgr.nvar(a), mgr.var(b)), mgr.var(c));
+  const auto model = mgr.pick_model(f);
+  ASSERT_EQ(model.size(), 3u);
+  std::vector<bool> assignment(3, false);
+  for (const auto& [v, value] : model) assignment[static_cast<std::size_t>(v)] = value;
+  EXPECT_TRUE(mgr.evaluate(f, assignment));
+  EXPECT_TRUE(mgr.pick_model(mgr.bdd_false()).empty());
+}
+
+TEST_F(BddTest, SatCount) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  (void)c;
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_true(), 3), 8.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_false(), 3), 0.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.var(a), 3), 4.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_and(mgr.var(a), mgr.var(b)), 3), 2.0);
+  EXPECT_DOUBLE_EQ(mgr.sat_count(mgr.bdd_or(mgr.var(a), mgr.var(b)), 3), 6.0);
+}
+
+TEST_F(BddTest, SupportListsUsedVariables) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.bdd_or(mgr.var(a), mgr.var(c));
+  EXPECT_EQ(mgr.support(f), (std::vector<int>{a, c}));
+  EXPECT_TRUE(mgr.support(mgr.bdd_true()).empty());
+  (void)b;
+}
+
+TEST_F(BddTest, SizeCountsReachableNodes) {
+  const int a = mgr.new_var();
+  EXPECT_EQ(mgr.size(mgr.bdd_true()), 0u);
+  EXPECT_EQ(mgr.size(mgr.var(a)), 1u);
+}
+
+// Brute-force cross-check: random circuits over 6 variables evaluated both
+// as BDDs and directly.
+class BddRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomTest, AgreesWithTruthTable) {
+  speccc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 99);
+  bdd::Manager mgr;
+  constexpr int kVars = 6;
+  for (int i = 0; i < kVars; ++i) (void)mgr.new_var();
+
+  // Build a random expression tree as parallel vectors of ops.
+  struct Gate {
+    int op;  // 0 and, 1 or, 2 xor, 3 not
+    int lhs;  // negative: variable ~lhs; non-negative: gate index
+    int rhs;
+  };
+  std::vector<Gate> gates;
+  const int gate_count = 8 + static_cast<int>(rng.below(12));
+  for (int g = 0; g < gate_count; ++g) {
+    Gate gate;
+    gate.op = static_cast<int>(rng.below(4));
+    const auto operand = [&](bool allow_gate) -> int {
+      if (allow_gate && g > 0 && rng.chance(1, 2)) {
+        return static_cast<int>(rng.below(static_cast<std::uint64_t>(g)));
+      }
+      return ~static_cast<int>(rng.below(kVars));
+    };
+    gate.lhs = operand(true);
+    gate.rhs = operand(true);
+    gates.push_back(gate);
+  }
+
+  // Build the BDD bottom-up.
+  std::vector<bdd::Bdd> gate_bdd;
+  for (const Gate& g : gates) {
+    const auto fetch = [&](int operand) {
+      return operand < 0 ? mgr.var(~operand) : gate_bdd[static_cast<std::size_t>(operand)];
+    };
+    bdd::Bdd lhs = fetch(g.lhs);
+    bdd::Bdd rhs = fetch(g.rhs);
+    switch (g.op) {
+      case 0: gate_bdd.push_back(lhs & rhs); break;
+      case 1: gate_bdd.push_back(lhs | rhs); break;
+      case 2: gate_bdd.push_back(lhs ^ rhs); break;
+      default: gate_bdd.push_back(!lhs); break;
+    }
+  }
+  bdd::Bdd f = gate_bdd.back();
+
+  // Evaluate all 64 assignments both ways.
+  for (int m = 0; m < (1 << kVars); ++m) {
+    std::vector<bool> assignment(kVars);
+    for (int v = 0; v < kVars; ++v) assignment[static_cast<std::size_t>(v)] = ((m >> v) & 1) != 0;
+    std::vector<bool> gate_val;
+    for (const Gate& g : gates) {
+      const auto fetch = [&](int operand) {
+        return operand < 0 ? assignment[static_cast<std::size_t>(~operand)]
+                           : gate_val[static_cast<std::size_t>(operand)];
+      };
+      const bool lhs = fetch(g.lhs);
+      const bool rhs = fetch(g.rhs);
+      switch (g.op) {
+        case 0: gate_val.push_back(lhs && rhs); break;
+        case 1: gate_val.push_back(lhs || rhs); break;
+        case 2: gate_val.push_back(lhs != rhs); break;
+        default: gate_val.push_back(!lhs); break;
+      }
+    }
+    EXPECT_EQ(mgr.evaluate(f, assignment), gate_val.back())
+        << "mismatch at assignment " << m;
+  }
+
+  // Quantification cross-check: exists over var 0 equals the OR of the two
+  // cofactors.
+  bdd::Bdd ex = mgr.exists(f, {0});
+  bdd::Bdd orcof = mgr.restrict_var(f, 0, false) | mgr.restrict_var(f, 0, true);
+  EXPECT_EQ(ex, orcof);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BddRandomTest, ::testing::Range(0, 20));
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Tests for Buechi emptiness / LTL satisfiability with lasso witnesses.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "automata/emptiness.hpp"
+#include "automata/gpvw.hpp"
+#include "ltl/parser.hpp"
+#include "ltl/trace.hpp"
+#include "util/diagnostics.hpp"
+
+namespace automata = speccc::automata;
+namespace ltl = speccc::ltl;
+
+namespace {
+
+TEST(Satisfiability, BasicVerdicts) {
+  EXPECT_TRUE(automata::satisfiable(ltl::parse("a")));
+  EXPECT_TRUE(automata::satisfiable(ltl::parse("G F a")));
+  EXPECT_FALSE(automata::satisfiable(ltl::parse("a && !a")));
+  EXPECT_FALSE(automata::satisfiable(ltl::parse("G a && F !a")));
+  EXPECT_FALSE(automata::satisfiable(ltl::parse("false")));
+  EXPECT_TRUE(automata::satisfiable(ltl::parse("true")));
+}
+
+TEST(Satisfiability, Validity) {
+  EXPECT_TRUE(automata::valid(ltl::parse("a || !a")));
+  EXPECT_TRUE(automata::valid(ltl::parse("G a -> F a")));
+  EXPECT_TRUE(automata::valid(ltl::parse("a U b -> F b")));
+  EXPECT_FALSE(automata::valid(ltl::parse("F a -> G a")));
+  // W does not imply eventuality.
+  EXPECT_FALSE(automata::valid(ltl::parse("a W b -> F b")));
+}
+
+TEST(Satisfiability, ConflictingObligationsOverTime) {
+  // Satisfiable even though instantaneously contradictory-looking.
+  EXPECT_TRUE(automata::satisfiable(ltl::parse("F a && F !a")));
+  EXPECT_FALSE(automata::satisfiable(ltl::parse("G (a -> X a) && a && F !a")));
+}
+
+TEST(Emptiness, WitnessIsAccepted) {
+  const ltl::Formula f = ltl::parse("G (a -> F b) && F a");
+  const auto nbw = automata::ltl_to_nbw(f);
+  const auto witness = automata::find_accepting_lasso(nbw);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(automata::accepts_lasso(nbw, witness->lasso));
+}
+
+TEST(Emptiness, EmptyAutomatonHasNoWitness) {
+  const auto nbw = automata::ltl_to_nbw(ltl::parse("a && !a"));
+  EXPECT_TRUE(automata::is_empty(nbw));
+}
+
+// Property sweep: every satisfiability witness actually satisfies the
+// formula under the trace semantics, and unsatisfiable formulas reject all
+// random lassos.
+class WitnessTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WitnessTest, WitnessSatisfiesFormula) {
+  const ltl::Formula f = ltl::parse(GetParam());
+  const auto witness = automata::satisfiable_witness(f);
+  if (witness.has_value()) {
+    EXPECT_TRUE(ltl::evaluate(f, witness->lasso))
+        << "witness does not satisfy " << GetParam();
+  } else {
+    // Cross-check unsatisfiability on random lassos.
+    speccc::util::Rng rng(31);
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::size_t len = 1 + rng.below(5);
+      std::vector<ltl::Valuation> steps(len);
+      for (auto& s : steps) {
+        for (const char* p : {"a", "b", "c"}) {
+          if (rng.chance(1, 2)) s.insert(p);
+        }
+      }
+      EXPECT_FALSE(ltl::evaluate(f, ltl::Lasso(steps, rng.below(len))))
+          << GetParam() << " claimed unsat but a lasso satisfies it";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WitnessTest,
+    ::testing::Values("a", "X X a", "F (a && b)", "G (a -> X b)",
+                      "a U (b && c)", "G F a && G F !a", "a W b",
+                      "G (a -> F b) && G (b -> F a) && F a",
+                      "a && G (a -> X !a) && G (!a -> X a)",
+                      "G a && F (b && !a)",            // unsat
+                      "(a U b) && G !b",               // unsat
+                      "F G a && G F !a",               // unsat
+                      "X X X (a && !a) || F c"));
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Tests for the game solvers: explicit safety arenas and symbolic
+// generalized-Buechi games.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "game/safety.hpp"
+#include "game/symbolic.hpp"
+
+namespace game = speccc::game;
+namespace bdd = speccc::bdd;
+
+namespace {
+
+TEST(SafetyGame, TrivialSurvival) {
+  // SAFE position looping onto itself survives.
+  game::Arena arena;
+  const int p = arena.add_position(game::Owner::kSafe);
+  arena.add_move(p, p);
+  arena.initial = p;
+  const auto r = game::solve(arena);
+  EXPECT_TRUE(r.initial_safe(arena));
+}
+
+TEST(SafetyGame, DeadPositionLoses) {
+  game::Arena arena;
+  const int p = arena.add_position(game::Owner::kSafe, /*is_dead=*/true);
+  arena.add_move(p, p);
+  arena.initial = p;
+  EXPECT_FALSE(game::solve(arena).initial_safe(arena));
+}
+
+TEST(SafetyGame, StuckSafePlayerLoses) {
+  game::Arena arena;
+  const int p = arena.add_position(game::Owner::kSafe);
+  arena.initial = p;
+  EXPECT_FALSE(game::solve(arena).initial_safe(arena));
+}
+
+TEST(SafetyGame, StuckReachPlayerWinsForSafe) {
+  game::Arena arena;
+  const int p = arena.add_position(game::Owner::kReach);
+  arena.initial = p;
+  EXPECT_TRUE(game::solve(arena).initial_safe(arena));
+}
+
+TEST(SafetyGame, ReachPicksTheBadBranch) {
+  // REACH chooses between a safe loop and a dead end: REACH wins.
+  game::Arena arena;
+  const int r = arena.add_position(game::Owner::kReach);
+  const int safe_loop = arena.add_position(game::Owner::kSafe);
+  const int doom = arena.add_position(game::Owner::kSafe, /*is_dead=*/true);
+  arena.add_move(r, safe_loop);
+  arena.add_move(r, doom);
+  arena.add_move(safe_loop, r);
+  arena.initial = r;
+  const auto result = game::solve(arena);
+  EXPECT_FALSE(result.initial_safe(arena));
+}
+
+TEST(SafetyGame, SafeEscapesOneBadMove) {
+  // SAFE has one bad move and one good loop: SAFE wins.
+  game::Arena arena;
+  const int s = arena.add_position(game::Owner::kSafe);
+  const int doom = arena.add_position(game::Owner::kSafe, true);
+  arena.add_move(s, doom);
+  arena.add_move(s, s);
+  arena.initial = s;
+  EXPECT_TRUE(game::solve(arena).initial_safe(arena));
+}
+
+TEST(SafetyGame, AlternatingChainAttractor) {
+  // r0 -> s0 -> r1 -> s1 -> doom, with no escapes: REACH drags the play in.
+  game::Arena arena;
+  const int r0 = arena.add_position(game::Owner::kReach);
+  const int s0 = arena.add_position(game::Owner::kSafe);
+  const int r1 = arena.add_position(game::Owner::kReach);
+  const int s1 = arena.add_position(game::Owner::kSafe);
+  const int doom = arena.add_position(game::Owner::kSafe, true);
+  arena.add_move(r0, s0);
+  arena.add_move(s0, r1);
+  arena.add_move(r1, s1);
+  arena.add_move(s1, doom);
+  arena.initial = r0;
+  const auto result = game::solve(arena);
+  EXPECT_FALSE(result.initial_safe(arena));
+  // But s1 with an extra self-loop escapes.
+  arena.add_move(s1, s0);
+  const auto result2 = game::solve(arena);
+  EXPECT_TRUE(result2.initial_safe(arena));
+}
+
+// ---- Symbolic games ---------------------------------------------------------
+
+struct Fixture {
+  bdd::Manager mgr;
+  game::SymbolicGame g;
+
+  Fixture() { g.manager = &mgr; }
+
+  int in() {
+    const int v = mgr.new_var();
+    g.input_vars.push_back(v);
+    return v;
+  }
+  int out() {
+    const int v = mgr.new_var();
+    g.output_vars.push_back(v);
+    return v;
+  }
+  int state(bool init, std::vector<std::pair<int, bool>>& init_bits) {
+    const int v = mgr.new_var();
+    g.state_vars.push_back(v);
+    init_bits.push_back({v, init});
+    return v;
+  }
+  void finish(const std::vector<std::pair<int, bool>>& init_bits) {
+    bdd::Bdd init = mgr.bdd_true();
+    for (const auto& [v, val] : init_bits) init = init & mgr.literal(v, val);
+    g.initial = init;
+    if (g.safe.is_null()) g.safe = mgr.bdd_true();
+  }
+};
+
+TEST(SymbolicGame, CopyInputToOutputIsRealizable) {
+  // safe: out == in (combinational); no state.
+  Fixture f;
+  const int i = f.in();
+  const int o = f.out();
+  f.g.safe = f.mgr.iff(f.mgr.var(i), f.mgr.var(o));
+  std::vector<std::pair<int, bool>> bits;
+  f.finish(bits);
+  const auto sol = game::solve(f.g);
+  EXPECT_TRUE(sol.realizable);
+}
+
+TEST(SymbolicGame, OutputMustPredictNextInputIsUnrealizable) {
+  // State remembers the previous output; safety: previous output == current
+  // input. The environment falsifies it by playing the opposite input.
+  Fixture f;
+  const int i = f.in();
+  const int o = f.out();
+  std::vector<std::pair<int, bool>> bits;
+  const int mem = f.state(false, bits);
+  const int armed = f.state(false, bits);  // first step has no obligation
+  f.g.next_state = {f.mgr.var(o), f.mgr.bdd_true()};
+  f.g.safe = f.mgr.implies(f.mgr.var(armed),
+                           f.mgr.iff(f.mgr.var(mem), f.mgr.var(i)));
+  f.finish(bits);
+  const auto sol = game::solve(f.g);
+  EXPECT_FALSE(sol.realizable);
+}
+
+TEST(SymbolicGame, BuechiVisitRequiresControllableProgress) {
+  // One state bit toggled by the output; Buechi set {bit}. System controls
+  // the toggle, so it can visit infinitely often: realizable.
+  Fixture f;
+  (void)f.in();
+  const int o = f.out();
+  std::vector<std::pair<int, bool>> bits;
+  const int b = f.state(false, bits);
+  f.g.next_state = {f.mgr.var(o)};
+  f.g.buchi = {f.mgr.var(b)};
+  f.finish(bits);
+  EXPECT_TRUE(game::solve(f.g).realizable);
+}
+
+TEST(SymbolicGame, BuechiUnreachableTarget) {
+  // The Buechi predicate requires a state bit that never becomes true.
+  Fixture f;
+  (void)f.in();
+  (void)f.out();
+  std::vector<std::pair<int, bool>> bits;
+  const int b = f.state(false, bits);
+  f.g.next_state = {f.mgr.bdd_false()};  // bit stays false forever
+  f.g.buchi = {f.mgr.var(b)};
+  f.finish(bits);
+  EXPECT_FALSE(game::solve(f.g).realizable);
+}
+
+TEST(SymbolicGame, EnvironmentControlledBuechiIsUnrealizable) {
+  // The Buechi bit copies the input: the environment can starve it.
+  Fixture f;
+  const int i = f.in();
+  (void)f.out();
+  std::vector<std::pair<int, bool>> bits;
+  const int b = f.state(false, bits);
+  f.g.next_state = {f.mgr.var(i)};
+  f.g.buchi = {f.mgr.var(b)};
+  f.finish(bits);
+  EXPECT_FALSE(game::solve(f.g).realizable);
+}
+
+TEST(SymbolicGame, SafetyAndLivenessInteract) {
+  // Output bit feeds both a safety constraint (out must equal in) and a
+  // Buechi set over a latch of out: env can force out=false forever by
+  // playing in=false, starving the Buechi set: unrealizable.
+  Fixture f;
+  const int i = f.in();
+  const int o = f.out();
+  std::vector<std::pair<int, bool>> bits;
+  const int latch = f.state(false, bits);
+  f.g.next_state = {f.mgr.var(o)};
+  f.g.safe = f.mgr.iff(f.mgr.var(i), f.mgr.var(o));
+  f.g.buchi = {f.mgr.var(latch)};
+  f.finish(bits);
+  EXPECT_FALSE(game::solve(f.g).realizable);
+}
+
+}  // namespace

@@ -1,0 +1,368 @@
+// Tests for the LTL core: hash-consing, printing, parsing round-trips,
+// rewriting, and lasso-trace semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ltl/formula.hpp"
+#include "ltl/parser.hpp"
+#include "ltl/patterns.hpp"
+#include "ltl/rewrite.hpp"
+#include "ltl/trace.hpp"
+#include "util/diagnostics.hpp"
+
+namespace ltl = speccc::ltl;
+using ltl::Formula;
+
+namespace {
+
+Formula a() { return ltl::ap("a"); }
+Formula b() { return ltl::ap("b"); }
+Formula c() { return ltl::ap("c"); }
+
+TEST(Formula, HashConsingGivesPointerEquality) {
+  Formula f1 = ltl::land(a(), ltl::next(b()));
+  Formula f2 = ltl::land(a(), ltl::next(b()));
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1.hash(), f2.hash());
+}
+
+TEST(Formula, NeutralSimplifications) {
+  EXPECT_EQ(ltl::lnot(ltl::lnot(a())), a());
+  EXPECT_EQ(ltl::land(a(), ltl::tru()), a());
+  EXPECT_EQ(ltl::land(a(), ltl::fls()), ltl::fls());
+  EXPECT_EQ(ltl::lor(a(), ltl::tru()), ltl::tru());
+  EXPECT_EQ(ltl::lor(a(), ltl::fls()), a());
+  EXPECT_EQ(ltl::always(ltl::always(a())), ltl::always(a()));
+  EXPECT_EQ(ltl::eventually(ltl::eventually(a())), ltl::eventually(a()));
+}
+
+TEST(Formula, NaryFlattening) {
+  Formula f = ltl::land(ltl::land(a(), b()), c());
+  Formula g = ltl::land({a(), b(), c()});
+  EXPECT_EQ(f, g);
+  EXPECT_EQ(f.arity(), 3u);
+}
+
+TEST(Formula, FlatteningPreservesOrder) {
+  Formula f = ltl::land({c(), a(), b()});
+  EXPECT_EQ(ltl::to_string(f), "c && a && b");
+}
+
+TEST(Formula, DuplicateOperandsDropped) {
+  EXPECT_EQ(ltl::land({a(), a(), b()}), ltl::land(a(), b()));
+  EXPECT_EQ(ltl::lor({a(), a()}), a());
+}
+
+TEST(Formula, AtomsCollectsAllPropositions) {
+  Formula f = ltl::always(ltl::implies(ltl::land(a(), b()), ltl::next(c())));
+  const auto atoms = f.atoms();
+  EXPECT_EQ(atoms, (std::set<std::string>{"a", "b", "c"}));
+}
+
+TEST(Formula, LengthCountsTreeUnfolding) {
+  // G (a -> b): always, implies, a, b => 4 nodes.
+  Formula f = ltl::always(ltl::implies(a(), b()));
+  EXPECT_EQ(f.length(), 4u);
+}
+
+TEST(Formula, IsPropositional) {
+  EXPECT_TRUE(ltl::implies(a(), ltl::lor(b(), c())).is_propositional());
+  EXPECT_FALSE(ltl::next(a()).is_propositional());
+  EXPECT_FALSE(ltl::land(a(), ltl::eventually(b())).is_propositional());
+}
+
+TEST(Printer, MatchesPaperShapes) {
+  Formula req17 = ltl::always(ltl::implies(ltl::ap("enter_auto_control_mode"),
+                                           ltl::eventually(ltl::ap("inflate_cuff"))));
+  EXPECT_EQ(ltl::to_string(req17),
+            "G (enter_auto_control_mode -> F inflate_cuff)");
+  EXPECT_EQ(ltl::to_string(req17, ltl::Style::kPaper),
+            "□ (enter_auto_control_mode → ♦ inflate_cuff)");
+}
+
+TEST(Printer, NextChains) {
+  Formula f = ltl::always(
+      ltl::implies(ltl::lnot(ltl::ap("air_ok")), ltl::next_n(ltl::ap("term"), 3)));
+  EXPECT_EQ(ltl::to_string(f), "G (!air_ok -> X X X term)");
+}
+
+TEST(Printer, PrecedenceParens) {
+  Formula f = ltl::land(ltl::lor(a(), b()), c());
+  EXPECT_EQ(ltl::to_string(f), "(a || b) && c");
+  Formula g = ltl::lor(ltl::land(a(), b()), c());
+  EXPECT_EQ(ltl::to_string(g), "a && b || c");
+}
+
+TEST(Parser, RoundTripsSimpleFormulas) {
+  const std::vector<std::string> inputs = {
+      "a",
+      "!a",
+      "a && b",
+      "a || b && c",
+      "(a || b) && c",
+      "a -> b -> c",
+      "a <-> b",
+      "X X a",
+      "G (a -> F b)",
+      "a U b",
+      "a W b",
+      "a R b",
+      "G (a -> (b W c))",
+      "true",
+      "false",
+  };
+  for (const auto& in : inputs) {
+    Formula f = ltl::parse(in);
+    Formula g = ltl::parse(ltl::to_string(f));
+    EXPECT_EQ(f, g) << "round trip failed for: " << in;
+  }
+}
+
+TEST(Parser, BindingStrengths) {
+  // U binds looser than || and &&, tighter than ->.
+  EXPECT_EQ(ltl::parse("a || b U c"), ltl::until(ltl::lor(a(), b()), c()));
+  EXPECT_EQ(ltl::parse("a U b -> c"), ltl::implies(ltl::until(a(), b()), c()));
+  EXPECT_EQ(ltl::parse("!a && b"), ltl::land(ltl::lnot(a()), b()));
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  EXPECT_THROW((void)ltl::parse(""), speccc::util::ParseError);
+  EXPECT_THROW((void)ltl::parse("a &&"), speccc::util::ParseError);
+  EXPECT_THROW((void)ltl::parse("(a"), speccc::util::ParseError);
+  EXPECT_THROW((void)ltl::parse("a b"), speccc::util::ParseError);
+  EXPECT_THROW((void)ltl::parse("a & b"), speccc::util::ParseError);
+  EXPECT_THROW((void)ltl::parse("->"), speccc::util::ParseError);
+}
+
+TEST(Rewrite, NnfPushesNegations) {
+  Formula f = ltl::lnot(ltl::always(ltl::implies(a(), ltl::eventually(b()))));
+  // !G(a -> F b) == F (a && G !b)
+  Formula expected =
+      ltl::eventually(ltl::land(a(), ltl::always(ltl::lnot(b()))));
+  EXPECT_EQ(ltl::nnf(f), expected);
+}
+
+TEST(Rewrite, NnfHandlesUntilDualities) {
+  EXPECT_EQ(ltl::nnf(ltl::lnot(ltl::until(a(), b()))),
+            ltl::release(ltl::lnot(a()), ltl::lnot(b())));
+  EXPECT_EQ(ltl::nnf(ltl::lnot(ltl::release(a(), b()))),
+            ltl::until(ltl::lnot(a()), ltl::lnot(b())));
+  EXPECT_EQ(ltl::nnf(ltl::lnot(ltl::next(a()))), ltl::next(ltl::lnot(a())));
+}
+
+TEST(Rewrite, NnfIsIdempotent) {
+  const std::vector<std::string> inputs = {
+      "!(a U (b && !c))", "!(a W b)", "!(a <-> b)", "!G F a", "!(a -> b)"};
+  for (const auto& in : inputs) {
+    Formula f = ltl::nnf(ltl::parse(in));
+    EXPECT_EQ(f, ltl::nnf(f)) << in;
+  }
+}
+
+TEST(Rewrite, WeakUntilElimination) {
+  Formula f = ltl::weak_until(a(), b());
+  Formula g = ltl::eliminate_weak_until(f);
+  EXPECT_EQ(g, ltl::release(b(), ltl::lor(a(), b())));
+}
+
+TEST(Rewrite, SubstituteReplacesAtoms) {
+  Formula f = ltl::always(ltl::implies(a(), ltl::next(b())));
+  Formula g = ltl::substitute(f, {{"a", ltl::land(b(), c())}});
+  EXPECT_EQ(g, ltl::always(ltl::implies(ltl::land(b(), c()), ltl::next(b()))));
+}
+
+TEST(Rewrite, MaxNextChain) {
+  EXPECT_EQ(ltl::max_next_chain(ltl::parse("a")), 0u);
+  EXPECT_EQ(ltl::max_next_chain(ltl::parse("X a")), 1u);
+  EXPECT_EQ(ltl::max_next_chain(ltl::parse("G (a -> X X X b)")), 3u);
+  EXPECT_EQ(ltl::max_next_chain(ltl::parse("X X a && X b")), 2u);
+}
+
+TEST(Rewrite, SyntacticSafety) {
+  EXPECT_TRUE(ltl::is_syntactic_safety(ltl::parse("G (a -> X b)")));
+  EXPECT_TRUE(ltl::is_syntactic_safety(ltl::parse("G (a -> (b W c))")));
+  EXPECT_FALSE(ltl::is_syntactic_safety(ltl::parse("G (a -> F b)")));
+  EXPECT_FALSE(ltl::is_syntactic_safety(ltl::parse("a U b")));
+  // Negation flips: !(F a) is safety.
+  EXPECT_TRUE(ltl::is_syntactic_safety(ltl::parse("!F a")));
+}
+
+// ---- Lasso semantics --------------------------------------------------------
+
+ltl::Lasso make_lasso(std::initializer_list<ltl::Valuation> steps,
+                      std::size_t loop_start) {
+  return ltl::Lasso(std::vector<ltl::Valuation>(steps), loop_start);
+}
+
+TEST(Trace, PropositionalEvaluation) {
+  auto w = make_lasso({{"a"}, {"b"}}, 1);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("a"), w, 0));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("b"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("a -> !b"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X b"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X X b"), w, 0));  // loop on b
+}
+
+TEST(Trace, AlwaysOnLoop) {
+  // a holds only in the prefix; loop has b.
+  auto w = make_lasso({{"a"}, {"b"}}, 1);
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("G a"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G b"), w, 1));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X G b"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("F G b"), w, 0));
+}
+
+TEST(Trace, EventuallyFindsLaterStep) {
+  auto w = make_lasso({{}, {}, {"goal"}, {}}, 3);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("F goal"), w, 0));
+  // Once past the goal, it never recurs (loop excludes it).
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("F goal"), w, 3));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("G F goal"), w, 0));
+}
+
+TEST(Trace, UntilSemantics) {
+  auto w = make_lasso({{"p"}, {"p"}, {"q"}, {}}, 3);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("p U q"), w, 0));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("p U r"), w, 0));
+  // Weak until is satisfied by G p even without the release.
+  auto w2 = make_lasso({{"p"}}, 0);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("p W q"), w2, 0));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("p U q"), w2, 0));
+}
+
+TEST(Trace, ReleaseSemantics) {
+  // a R b: b must hold up to and including the first a.
+  auto w = make_lasso({{"b"}, {"a", "b"}, {}}, 2);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("a R b"), w, 0));
+  auto w2 = make_lasso({{"b"}, {"a"}, {}}, 2);
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("a R b"), w2, 0));
+  auto w3 = make_lasso({{"b"}}, 0);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("a R b"), w3, 0));  // b forever
+}
+
+TEST(Trace, PaperFootnoteFormulaOnWitness) {
+  // G (out <-> X X X in): satisfied by a trace where out anticipates in by
+  // exactly 3 steps (all-empty trace works trivially).
+  auto w = make_lasso({{}}, 0);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G (out <-> X X X in)"), w, 0));
+  auto w2 = make_lasso({{"out"}, {}, {}, {"in"}}, 3);
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("G (out <-> X X X in)"), w2, 0));
+}
+
+// Property sweep: NNF preserves lasso semantics on a family of formulas and
+// deterministic pseudo-random lassos.
+class NnfSemanticsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NnfSemanticsTest, NnfPreservesSemantics) {
+  Formula f = ltl::parse(GetParam());
+  Formula g = ltl::nnf(f);
+  Formula h = ltl::eliminate_weak_until(f);
+  speccc::util::Rng rng(1234);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t len = 1 + rng.below(6);
+    const std::size_t loop = rng.below(len);
+    std::vector<ltl::Valuation> steps(len);
+    for (auto& step : steps) {
+      for (const char* name : {"a", "b", "c"}) {
+        if (rng.chance(1, 2)) step.insert(name);
+      }
+    }
+    ltl::Lasso w(steps, loop);
+    EXPECT_EQ(ltl::evaluate(f, w), ltl::evaluate(g, w))
+        << "nnf mismatch on " << GetParam();
+    EXPECT_EQ(ltl::evaluate(f, w), ltl::evaluate(h, w))
+        << "W-elimination mismatch on " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NnfSemanticsTest,
+    ::testing::Values("!(a U b)", "!(a W b)", "!(a R b)", "!(a <-> b)",
+                      "!G (a -> F b)", "!(a -> (b U c))", "G (a -> X X b)",
+                      "!F (a && X b)", "a W (b && c)", "!(a U (b W c))",
+                      "G F a -> F G b", "!(X a <-> F b)"));
+
+// ---- Pattern recognition ----------------------------------------------------
+
+TEST(Patterns, TemplateConstructors) {
+  EXPECT_EQ(ltl::to_string(ltl::response(a(), b())), "G (a -> F b)");
+  EXPECT_EQ(ltl::to_string(ltl::delayed_implication(a(), b(), 2)),
+            "G (a -> X X b)");
+  // W binds tighter than ->, so the canonical form needs no inner parens.
+  EXPECT_EQ(ltl::to_string(ltl::until_template(a(), b(), c())),
+            "G (a -> !c -> b W c)");
+}
+
+TEST(Patterns, RecognizeInvariant) {
+  auto p = ltl::recognize_pattern(ltl::parse("G (a -> b || c)"));
+  ASSERT_TRUE(p.has_value());
+  // G of a propositional implication is an implication pattern.
+  EXPECT_EQ(p->kind, ltl::PatternKind::kImplication);
+  EXPECT_EQ(p->guard, a());
+  EXPECT_EQ(p->delay, 0u);
+}
+
+TEST(Patterns, RecognizePureInvariant) {
+  auto p = ltl::recognize_pattern(ltl::parse("G (!a || b)"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kInvariant);
+}
+
+TEST(Patterns, RecognizeDelayedImplication) {
+  auto p = ltl::recognize_pattern(ltl::parse("G (a && b -> X X X c)"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kImplication);
+  EXPECT_EQ(p->delay, 3u);
+  EXPECT_EQ(p->consequent, c());
+}
+
+TEST(Patterns, RecognizeGuardDelayed) {
+  // The paper's Req-28 shape.
+  auto p = ltl::recognize_pattern(ltl::parse("G (X X X !bp -> trigger)"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kGuardDelayed);
+  EXPECT_EQ(p->delay, 3u);
+}
+
+TEST(Patterns, RecognizeResponse) {
+  auto p = ltl::recognize_pattern(ltl::parse("G (a -> F b)"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kResponse);
+}
+
+TEST(Patterns, RecognizeNestedGuards) {
+  // Req-17.4 shape: G (a -> (b -> c)).
+  auto p = ltl::recognize_pattern(ltl::parse("G (a -> (b && !d -> c))"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kImplication);
+  EXPECT_EQ(p->guard, ltl::land(a(), ltl::land(b(), ltl::lnot(ltl::ap("d")))));
+}
+
+TEST(Patterns, RecognizeWeakUntil) {
+  // Req-49 shape.
+  auto p = ltl::recognize_pattern(
+      ltl::parse("G (btn -> (!press -> (btn W press)))"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kWeakUntil);
+  EXPECT_EQ(p->guard, ltl::land(ltl::ap("btn"), ltl::lnot(ltl::ap("press"))));
+  EXPECT_EQ(p->consequent, ltl::ap("btn"));
+  EXPECT_EQ(p->release, ltl::ap("press"));
+}
+
+TEST(Patterns, RecognizeExistence) {
+  auto p = ltl::recognize_pattern(ltl::parse("F done"));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->kind, ltl::PatternKind::kExistence);
+}
+
+TEST(Patterns, RejectsOutsideFragment) {
+  EXPECT_FALSE(ltl::recognize_pattern(ltl::parse("G (a -> F X b)")).has_value());
+  EXPECT_FALSE(ltl::recognize_pattern(ltl::parse("G F a -> G F b")).has_value());
+  EXPECT_FALSE(ltl::recognize_pattern(ltl::parse("a U b")).has_value());
+  EXPECT_FALSE(
+      ltl::recognize_pattern(ltl::parse("G (F a -> b)")).has_value());
+}
+
+}  // namespace

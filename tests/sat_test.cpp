@@ -1,0 +1,177 @@
+// Tests for the CDCL SAT solver, including a brute-force cross-check on
+// random small instances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/diagnostics.hpp"
+
+namespace sat = speccc::sat;
+using sat::Lit;
+
+namespace {
+
+TEST(Sat, EmptyInstanceIsSat) {
+  sat::Solver s;
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+}
+
+TEST(Sat, UnitPropagationChains) {
+  sat::Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  s.add_unit(Lit(a, true));
+  s.add_binary(Lit(a, false), Lit(b, true));   // a -> b
+  s.add_binary(Lit(b, false), Lit(c, true));   // b -> c
+  ASSERT_EQ(s.solve(), sat::Result::kSat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+  EXPECT_TRUE(s.value(c));
+}
+
+TEST(Sat, DirectContradiction) {
+  sat::Solver s;
+  const int a = s.new_var();
+  s.add_unit(Lit(a, true));
+  s.add_unit(Lit(a, false));
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+}
+
+TEST(Sat, RequiresSearch) {
+  sat::Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  // (a || b) && (!a || b) && (a || !b) -- forces a=b=true.
+  s.add_binary(Lit(a, true), Lit(b, true));
+  s.add_binary(Lit(a, false), Lit(b, true));
+  s.add_binary(Lit(a, true), Lit(b, false));
+  ASSERT_EQ(s.solve(), sat::Result::kSat);
+  EXPECT_TRUE(s.value(a));
+  EXPECT_TRUE(s.value(b));
+}
+
+TEST(Sat, XorChainUnsat) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+  sat::Solver s;
+  const int x1 = s.new_var();
+  const int x2 = s.new_var();
+  const int x3 = s.new_var();
+  auto add_xor_eq_true = [&s](int u, int v) {
+    s.add_binary(Lit(u, true), Lit(v, true));
+    s.add_binary(Lit(u, false), Lit(v, false));
+  };
+  add_xor_eq_true(x1, x2);
+  add_xor_eq_true(x2, x3);
+  add_xor_eq_true(x1, x3);
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+}
+
+TEST(Sat, PigeonHole4Into3IsUnsat) {
+  // p_{i,j}: pigeon i sits in hole j. Classic hard UNSAT family (small size).
+  constexpr int kPigeons = 4;
+  constexpr int kHoles = 3;
+  sat::Solver s;
+  int var[kPigeons][kHoles];
+  for (auto& row : var) {
+    for (int& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < kPigeons; ++i) {
+    sat::Clause c;
+    for (int j = 0; j < kHoles; ++j) c.push_back(Lit(var[i][j], true));
+    s.add_clause(c);
+  }
+  for (int j = 0; j < kHoles; ++j) {
+    for (int i1 = 0; i1 < kPigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < kPigeons; ++i2) {
+        s.add_binary(Lit(var[i1][j], false), Lit(var[i2][j], false));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+}
+
+TEST(Sat, AssumptionsDoNotPersist) {
+  sat::Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  s.add_binary(Lit(a, false), Lit(b, true));  // a -> b
+  ASSERT_EQ(s.solve({Lit(a, true)}), sat::Result::kSat);
+  EXPECT_TRUE(s.value(b));
+  ASSERT_EQ(s.solve({Lit(b, false)}), sat::Result::kSat);
+  EXPECT_FALSE(s.value(a));
+  // Contradictory assumptions fail without poisoning the instance.
+  EXPECT_EQ(s.solve({Lit(a, true), Lit(b, false)}), sat::Result::kUnsat);
+  EXPECT_EQ(s.solve(), sat::Result::kSat);
+}
+
+TEST(Sat, TautologicalClauseIgnored) {
+  sat::Solver s;
+  const int a = s.new_var();
+  s.add_clause({Lit(a, true), Lit(a, false)});
+  ASSERT_EQ(s.solve(), sat::Result::kSat);
+}
+
+// Brute-force cross-check on pseudo-random 3-CNF instances near the phase
+// transition.
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  speccc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  constexpr int kVars = 10;
+  const int clauses = 10 + GetParam() % 35;
+
+  std::vector<sat::Clause> formula;
+  for (int i = 0; i < clauses; ++i) {
+    sat::Clause c;
+    for (int k = 0; k < 3; ++k) {
+      c.push_back(Lit(static_cast<int>(rng.below(kVars)), rng.chance(1, 2)));
+    }
+    formula.push_back(c);
+  }
+
+  bool brute_sat = false;
+  for (int m = 0; m < (1 << kVars) && !brute_sat; ++m) {
+    bool all = true;
+    for (const auto& c : formula) {
+      bool some = false;
+      for (Lit l : c) {
+        const bool v = ((m >> l.var()) & 1) != 0;
+        if (v == l.positive()) {
+          some = true;
+          break;
+        }
+      }
+      if (!some) {
+        all = false;
+        break;
+      }
+    }
+    brute_sat = all;
+  }
+
+  sat::Solver s;
+  for (int v = 0; v < kVars; ++v) (void)s.new_var();
+  for (const auto& c : formula) s.add_clause(c);
+  const bool solver_sat = s.solve() == sat::Result::kSat;
+  EXPECT_EQ(solver_sat, brute_sat);
+
+  if (solver_sat) {
+    // The model must satisfy every clause.
+    for (const auto& c : formula) {
+      bool some = false;
+      for (Lit l : c) {
+        if (s.value(l.var()) == l.positive()) {
+          some = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(some) << "model does not satisfy a clause";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SatRandomTest, ::testing::Range(0, 40));
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Tests for semantic reasoning (paper Section IV-D, Algorithm 1) and the
+// proposition-reduction decisions.
+#include <gtest/gtest.h>
+
+#include "nlp/syntax.hpp"
+#include "semantics/antonyms.hpp"
+#include "semantics/reasoning.hpp"
+#include "util/diagnostics.hpp"
+
+namespace nlp = speccc::nlp;
+namespace sem = speccc::semantics;
+
+namespace {
+
+const nlp::Lexicon& lex() {
+  static nlp::Lexicon lexicon = nlp::Lexicon::builtin();
+  return lexicon;
+}
+
+std::vector<nlp::Sentence> parse_all(const std::vector<std::string>& texts) {
+  std::vector<nlp::Sentence> out;
+  for (const auto& t : texts) out.push_back(nlp::parse_sentence(t, lex()));
+  return out;
+}
+
+TEST(AntonymDictionary, PairsAndPolarity) {
+  sem::AntonymDictionary dict;
+  dict.add_pair("available", "unavailable");
+  EXPECT_TRUE(dict.contains("available"));
+  EXPECT_EQ(dict.polarity("available"), sem::Polarity::kPositive);
+  EXPECT_EQ(dict.polarity("unavailable"), sem::Polarity::kNegative);
+  EXPECT_EQ(dict.polarity("ready"), sem::Polarity::kUnknown);
+  EXPECT_TRUE(dict.antonyms("available").count("unavailable") > 0);
+  EXPECT_EQ(dict.positive_form("unavailable"), "available");
+}
+
+TEST(AntonymDictionary, MultiplePartnersAllowed) {
+  sem::AntonymDictionary dict;
+  dict.add_pair("available", "unavailable");
+  dict.add_pair("available", "lost");
+  EXPECT_EQ(dict.antonyms("available").size(), 2u);
+  EXPECT_EQ(dict.positive_form("lost"), "available");
+}
+
+TEST(AntonymDictionary, ContradictoryPolarityRejected) {
+  sem::AntonymDictionary dict;
+  dict.add_pair("high", "low");
+  EXPECT_THROW(dict.add_pair("low", "high"), speccc::util::InvalidInputError);
+  EXPECT_THROW(dict.add_pair("on", "on"), speccc::util::InvalidInputError);
+}
+
+TEST(Reasoning, PaperExampleFindsAvailablePair) {
+  // Req-32/44: pulse wave depends on both available and unavailable.
+  const auto spec = parse_all({
+      "If pulse wave or arterial line is available, and cuff is selected, "
+      "corroboration is triggered.",
+      "If pulse wave and arterial line are unavailable, and cuff is "
+      "selected, manual mode is started.",
+  });
+  const auto result = sem::reason(spec, sem::AntonymDictionary::builtin());
+  ASSERT_FALSE(result.pairs.empty());
+  EXPECT_NE(std::find(result.pairs.begin(), result.pairs.end(),
+                      std::make_pair(std::string("available"),
+                                     std::string("unavailable"))),
+            result.pairs.end());
+  // Both words are colored blue.
+  EXPECT_EQ(result.wordset.at("available").color, sem::Color::kBlue);
+  EXPECT_EQ(result.wordset.at("unavailable").color, sem::Color::kBlue);
+}
+
+TEST(Reasoning, SingletonGroupsStayGreen) {
+  // Only one candidate for the subject: Algorithm 1 skips the group.
+  const auto spec = parse_all({"The cuff is available."});
+  const auto result = sem::reason(spec, sem::AntonymDictionary::builtin());
+  ASSERT_TRUE(result.wordset.count("available") > 0);
+  EXPECT_EQ(result.wordset.at("available").color, sem::Color::kGreen);
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(Reasoning, OnlineResolverCalledForUnknownWords) {
+  // Words missing from the dictionary trigger the injectable resolver
+  // (Algorithm 1's online(w)).
+  sem::AntonymDictionary empty_dict;
+  const auto spec = parse_all({
+      "The valve is open.",
+      "The valve is closed.",
+  });
+  std::size_t calls = 0;
+  const sem::AntonymResolver online = [&calls](const std::string& w) {
+    ++calls;
+    if (w == "open") return std::set<std::string>{"closed"};
+    if (w == "closed") return std::set<std::string>{"open"};
+    return std::set<std::string>{};
+  };
+  const auto result = sem::reason(spec, empty_dict, online);
+  EXPECT_GT(result.resolver_calls, 0u);
+  EXPECT_EQ(result.resolver_calls, calls);
+  EXPECT_EQ(result.wordset.at("open").color, sem::Color::kBlue);
+}
+
+TEST(Reasoning, NoResolverNoPairs) {
+  sem::AntonymDictionary empty_dict;
+  const auto spec = parse_all({
+      "The valve is open.",
+      "The valve is closed.",
+  });
+  const auto result = sem::reason(spec, empty_dict, nullptr);
+  EXPECT_TRUE(result.pairs.empty());
+  EXPECT_EQ(result.wordset.at("open").color, sem::Color::kGreen);
+}
+
+TEST(Reducer, DictionaryPolarityFolds) {
+  const auto spec = parse_all({"The pulse wave is unavailable."});
+  const auto dict = sem::AntonymDictionary::builtin();
+  sem::PropositionReducer reducer(sem::reason(spec, dict), dict);
+
+  const auto pos = reducer.decide("pulse_wave", "available");
+  EXPECT_TRUE(pos.fold);
+  EXPECT_FALSE(pos.negate);
+
+  const auto neg = reducer.decide("pulse_wave", "unavailable");
+  EXPECT_TRUE(neg.fold);
+  EXPECT_TRUE(neg.negate);
+  EXPECT_TRUE(neg.by_polarity_only);  // partner never occurred in the spec
+}
+
+TEST(Reducer, UnknownWordsDoNotFold) {
+  const auto spec = parse_all({"The infusate is ready."});
+  const auto dict = sem::AntonymDictionary::builtin();
+  sem::PropositionReducer reducer(sem::reason(spec, dict), dict);
+  const auto r = reducer.decide("infusate", "ready");
+  EXPECT_FALSE(r.fold);
+}
+
+TEST(Reducer, BluePairedWordsWithoutPolarityFoldBySecondElement) {
+  // Custom dictionary-free pair found via the resolver: the pair ordering
+  // decides the sign.
+  sem::AntonymDictionary empty_dict;
+  const auto spec = parse_all({
+      "The door is open.",
+      "The door is closed.",
+  });
+  const sem::AntonymResolver online = [](const std::string& w) {
+    if (w == "open") return std::set<std::string>{"closed"};
+    if (w == "closed") return std::set<std::string>{"open"};
+    return std::set<std::string>{};
+  };
+  sem::PropositionReducer reducer(sem::reason(spec, empty_dict, online),
+                                  empty_dict);
+  const auto open = reducer.decide("door", "open");
+  const auto closed = reducer.decide("door", "closed");
+  EXPECT_TRUE(open.fold);
+  EXPECT_TRUE(closed.fold);
+  // Exactly one of the two is the negative form.
+  EXPECT_NE(open.negate, closed.negate);
+}
+
+}  // namespace

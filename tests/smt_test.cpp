@@ -1,0 +1,140 @@
+// Tests for the bit-blasting layer: arithmetic circuits against native
+// integer arithmetic, and the bound-search minimizer.
+#include <gtest/gtest.h>
+
+#include "smt/bitblast.hpp"
+#include "util/diagnostics.hpp"
+
+namespace smt = speccc::smt;
+namespace sat = speccc::sat;
+
+namespace {
+
+TEST(Smt, ConstantsRoundTrip) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec c = b.constant(42, 8);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_EQ(b.model_value(c), 42u);
+}
+
+TEST(Smt, AdditionMatchesNative) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(6);
+  const smt::BitVec y = b.var(6);
+  b.require_eq(x, b.constant(37, 6));
+  b.require_eq(y, b.constant(25, 6));
+  const smt::BitVec sum = b.add(x, y);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_EQ(b.model_value(sum), 62u);
+}
+
+TEST(Smt, MultiplicationMatchesNative) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(6);
+  const smt::BitVec y = b.var(6);
+  b.require_eq(x, b.constant(13, 6));
+  b.require_eq(y, b.constant(11, 6));
+  const smt::BitVec prod = b.mul(x, y);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_EQ(b.model_value(prod), 143u);
+}
+
+TEST(Smt, ComparatorSemantics) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.constant(9, 5);
+  const smt::BitVec y = b.constant(17, 5);
+  b.require(b.ult(x, y));
+  b.require(b.ule(x, x));
+  b.require(b.ult(y, x).negated());
+  EXPECT_EQ(solver.solve(), sat::Result::kSat);
+}
+
+TEST(Smt, SolveForFactorization) {
+  // Find x, y >= 2 with x * y == 91 (7 * 13).
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(5);
+  const smt::BitVec y = b.var(5);
+  b.require(b.ule(b.constant(2, 5), x));
+  b.require(b.ule(b.constant(2, 5), y));
+  b.require_eq(b.mul(x, y), b.constant(91, 10));
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  const std::uint64_t xv = b.model_value(x);
+  const std::uint64_t yv = b.model_value(y);
+  EXPECT_EQ(xv * yv, 91u);
+  EXPECT_GE(xv, 2u);
+  EXPECT_GE(yv, 2u);
+}
+
+TEST(Smt, PrimeHasNoFactorization) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(5);
+  const smt::BitVec y = b.var(5);
+  b.require(b.ule(b.constant(2, 5), x));
+  b.require(b.ule(b.constant(2, 5), y));
+  b.require_eq(b.mul(x, y), b.constant(97, 10));
+  EXPECT_EQ(solver.solve(), sat::Result::kUnsat);
+}
+
+TEST(Smt, MinimizeFindsGlobalMinimum) {
+  // Minimize x subject to x * x >= 20, x <= 31: answer 5.
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(5);
+  b.require(b.ule(b.constant(20, 10), b.mul(x, x)));
+  const auto best = b.minimize(x);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 5u);
+  EXPECT_EQ(b.model_value(x), 5u);
+}
+
+TEST(Smt, MinimizeOnUnsatReturnsNullopt) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.var(4);
+  b.require(b.ult(x, b.constant(3, 4)));
+  b.require(b.ule(b.constant(7, 4), x));
+  EXPECT_FALSE(b.minimize(x).has_value());
+}
+
+TEST(Smt, SelectActsAsMux) {
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const sat::Lit sel = b.fresh();
+  const smt::BitVec v = b.select(sel, b.constant(10, 4), b.constant(3, 4));
+  b.require(sel);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_EQ(b.model_value(v), 10u);
+}
+
+// Property sweep: circuit arithmetic equals native arithmetic for a grid of
+// operand values.
+class SmtArithmeticTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmtArithmeticTest, AddMulCompareAgainstNative) {
+  speccc::util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const std::uint64_t a = rng.below(200);
+  const std::uint64_t bv = rng.below(200);
+
+  sat::Solver solver;
+  smt::Builder b(solver);
+  const smt::BitVec x = b.constant(a, 9);
+  const smt::BitVec y = b.constant(bv, 9);
+  const smt::BitVec sum = b.add(x, y);
+  const smt::BitVec prod = b.mul(x, y);
+  const sat::Lit lt = b.ult(x, y);
+  ASSERT_EQ(solver.solve(), sat::Result::kSat);
+  EXPECT_EQ(b.model_value(sum), a + bv);
+  EXPECT_EQ(b.model_value(prod), a * bv);
+  const bool lt_val = solver.value(lt.var()) == lt.positive();
+  EXPECT_EQ(lt_val, a < bv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SmtArithmeticTest, ::testing::Range(0, 25));
+
+}  // namespace

@@ -1,0 +1,207 @@
+// Tests for time abstraction (paper Section IV-E): the GCD reduction, the
+// paper's worked example, and enumeration-vs-SMT backend agreement.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "timeabs/abstraction.hpp"
+#include "util/diagnostics.hpp"
+
+namespace timeabs = speccc::timeabs;
+using timeabs::Backend;
+using timeabs::ErrorSign;
+
+namespace {
+
+TEST(TimeAbs, GcdReductionPaperExample) {
+  // Req-08/28/42: {3, 180, 60} -> gcd 3 -> {1, 60, 20}.
+  const auto abs = timeabs::gcd_abstraction({3, 180, 60});
+  EXPECT_EQ(abs.divisor, 3u);
+  EXPECT_EQ(abs.reduced, (std::vector<std::uint32_t>{1, 60, 20}));
+  EXPECT_EQ(abs.error_sum, 0u);
+}
+
+TEST(TimeAbs, GcdOfCoprimeLengthsIsIdentity) {
+  const auto abs = timeabs::gcd_abstraction({3, 7});
+  EXPECT_EQ(abs.divisor, 1u);
+  EXPECT_EQ(abs.reduced, (std::vector<std::uint32_t>{3, 7}));
+}
+
+TEST(TimeAbs, GcdRejectsEmptyAndZero) {
+  EXPECT_THROW((void)timeabs::gcd_abstraction({}), speccc::util::InvalidInputError);
+  EXPECT_THROW((void)timeabs::gcd_abstraction({0, 3}),
+               speccc::util::InvalidInputError);
+}
+
+TEST(TimeAbs, PaperOptimizationExample) {
+  // Theta = {3, 180, 60}, all Delta_i >= 0, B = 5
+  // => d = 60, theta' = (0, 3, 1), Delta = (3, 0, 0).
+  timeabs::Request req;
+  req.thetas = {3, 180, 60};
+  req.error_budget = 5;
+  const auto abs = timeabs::optimize_exact(req);
+  EXPECT_EQ(abs.divisor, 60u);
+  EXPECT_EQ(abs.reduced, (std::vector<std::uint32_t>{0, 3, 1}));
+  EXPECT_EQ(abs.errors, (std::vector<std::int64_t>{3, 0, 0}));
+  EXPECT_EQ(abs.reduced_sum, 4u);
+  EXPECT_EQ(abs.error_sum, 3u);
+}
+
+TEST(TimeAbs, PaperExampleViaSmtBackend) {
+  timeabs::Request req;
+  req.thetas = {3, 180, 60};
+  req.error_budget = 5;
+  const auto abs = timeabs::optimize(req, Backend::kSmt);
+  ASSERT_TRUE(abs.has_value());
+  // The SMT backend must reach the same optimum; divisor choice among
+  // equally-optimal solutions may differ, but the objective values must not.
+  EXPECT_EQ(abs->reduced_sum, 4u);
+  EXPECT_EQ(abs->error_sum, 3u);
+  // Verify the arithmetic of the returned witness.
+  for (std::size_t i = 0; i < req.thetas.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(req.thetas[i]),
+              static_cast<std::int64_t>(abs->reduced[i]) * abs->divisor +
+                  abs->errors[i]);
+  }
+}
+
+TEST(TimeAbs, ZeroBudgetDegeneratesToDivisorOfAll) {
+  // With B = 0 every theta must divide exactly; best divisor is the gcd.
+  timeabs::Request req;
+  req.thetas = {12, 18, 30};
+  req.error_budget = 0;
+  const auto abs = timeabs::optimize_exact(req);
+  EXPECT_EQ(abs.divisor, 6u);
+  EXPECT_EQ(abs.reduced, (std::vector<std::uint32_t>{2, 3, 5}));
+  EXPECT_EQ(abs.error_sum, 0u);
+}
+
+TEST(TimeAbs, LateArrivalSigns) {
+  // theta = 7 with late arrivals (Delta <= 0): the best reduced sum is 1,
+  // achieved exactly by d = 7 (Delta = 0), which also wins the secondary
+  // objective over d = 8 (Delta = -1).
+  timeabs::Request req;
+  req.thetas = {7};
+  req.error_budget = 1;
+  req.signs = {ErrorSign::kLate};
+  const auto abs = timeabs::optimize_exact(req);
+  EXPECT_EQ(abs.reduced_sum, 1u);
+  EXPECT_EQ(abs.divisor, 7u);
+  EXPECT_EQ(abs.errors[0], 0);
+  // theta = theta' * d + Delta must hold.
+  EXPECT_EQ(7, static_cast<std::int64_t>(abs.reduced[0]) * abs.divisor +
+                   abs.errors[0]);
+
+  // With a tighter shape where exact division is impossible (theta = 7,
+  // budget forces d = 8 to be considered): request two thetas {7, 8}; d = 8
+  // yields theta' = (1, 1) with Delta = (-1, 0).
+  timeabs::Request req2;
+  req2.thetas = {7, 8};
+  req2.error_budget = 1;
+  req2.signs = {ErrorSign::kLate, ErrorSign::kLate};
+  const auto abs2 = timeabs::optimize_exact(req2);
+  EXPECT_EQ(abs2.divisor, 8u);
+  EXPECT_EQ(abs2.reduced, (std::vector<std::uint32_t>{1, 1}));
+  EXPECT_EQ(abs2.errors, (std::vector<std::int64_t>{-1, 0}));
+}
+
+TEST(TimeAbs, EitherSignPicksBestDirection) {
+  // {9, 21}: with budget 2 and free signs, d = 10 gives
+  // 9 = 1*10 - 1 (late), 21 = 2*10 + 1 (early): reduced sum 3, error 2.
+  timeabs::Request req;
+  req.thetas = {9, 21};
+  req.error_budget = 2;
+  req.signs = {ErrorSign::kEither, ErrorSign::kEither};
+  const auto abs = timeabs::optimize_exact(req);
+  EXPECT_LE(abs.reduced_sum, 3u);
+  for (std::size_t i = 0; i < req.thetas.size(); ++i) {
+    EXPECT_EQ(static_cast<std::int64_t>(req.thetas[i]),
+              static_cast<std::int64_t>(abs.reduced[i]) * abs.divisor +
+                  abs.errors[i]);
+    EXPECT_LT(std::abs(abs.errors[i]), static_cast<std::int64_t>(abs.divisor));
+  }
+}
+
+TEST(TimeAbs, InvalidRequestsThrow) {
+  timeabs::Request empty;
+  EXPECT_THROW((void)timeabs::optimize_exact(empty),
+               speccc::util::InvalidInputError);
+
+  timeabs::Request zero;
+  zero.thetas = {0};
+  EXPECT_THROW((void)timeabs::optimize_exact(zero),
+               speccc::util::InvalidInputError);
+
+  timeabs::Request bad_signs;
+  bad_signs.thetas = {3, 5};
+  bad_signs.signs = {ErrorSign::kEarly};
+  EXPECT_THROW((void)timeabs::optimize_exact(bad_signs),
+               speccc::util::InvalidInputError);
+}
+
+TEST(TimeAbs, SolutionAlwaysExistsWithZeroBudget) {
+  // d = 1 is always feasible, so optimize never fails on valid input.
+  timeabs::Request req;
+  req.thetas = {13, 17, 19};
+  req.error_budget = 0;
+  const auto abs = timeabs::optimize_exact(req);
+  EXPECT_EQ(abs.divisor, 1u);
+  EXPECT_EQ(abs.reduced_sum, 13u + 17u + 19u);
+}
+
+// Property sweep: both backends agree on the objective values, and every
+// witness satisfies the constraint system.
+class BackendAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BackendAgreementTest, EnumerationAndSmtAgree) {
+  const auto [seed, budget] = GetParam();
+  speccc::util::Rng rng(static_cast<std::uint64_t>(seed) * 31337 + 5);
+  timeabs::Request req;
+  const int n = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < n; ++i) {
+    req.thetas.push_back(1 + static_cast<std::uint32_t>(rng.below(40)));
+    const auto s = rng.below(3);
+    req.signs.push_back(s == 0   ? ErrorSign::kEarly
+                        : s == 1 ? ErrorSign::kLate
+                                 : ErrorSign::kEither);
+  }
+  req.error_budget = static_cast<std::uint32_t>(budget);
+
+  const auto exact = timeabs::optimize(req, Backend::kEnumeration);
+  const auto smt = timeabs::optimize(req, Backend::kSmt);
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_TRUE(smt.has_value());
+  EXPECT_EQ(exact->reduced_sum, smt->reduced_sum)
+      << "primary objective mismatch";
+  EXPECT_EQ(exact->error_sum, smt->error_sum) << "secondary objective mismatch";
+
+  for (const auto& abs : {*exact, *smt}) {
+    std::uint64_t err = 0;
+    for (std::size_t i = 0; i < req.thetas.size(); ++i) {
+      EXPECT_EQ(static_cast<std::int64_t>(req.thetas[i]),
+                static_cast<std::int64_t>(abs.reduced[i]) * abs.divisor +
+                    abs.errors[i]);
+      EXPECT_LT(std::abs(abs.errors[i]),
+                static_cast<std::int64_t>(abs.divisor));
+      switch (req.signs[i]) {
+        case ErrorSign::kEarly:
+          EXPECT_GE(abs.errors[i], 0);
+          break;
+        case ErrorSign::kLate:
+          EXPECT_LE(abs.errors[i], 0);
+          break;
+        case ErrorSign::kEither:
+          break;
+      }
+      err += static_cast<std::uint64_t>(std::abs(abs.errors[i]));
+    }
+    EXPECT_LE(err, req.error_budget);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BackendAgreementTest,
+                         ::testing::Combine(::testing::Range(0, 10),
+                                            ::testing::Values(0, 3, 8)));
+
+}  // namespace
