@@ -1,5 +1,12 @@
 // SpecCC command-line front end: consistency-check a requirement document.
 //
+// This is the paper's Fig. 1 workflow as a tool: read one structured-English
+// requirement per line, translate to LTL (Section IV), abstract time
+// constants (Section IV-E), partition inputs/outputs (Section IV-F), and
+// decide consistency via realizability (Section V-A), optionally exporting
+// the synthesized controller. The --lexicon/--antonyms options demonstrate
+// the user-extensible dictionaries of Sections IV-B and IV-D.
+//
 //   $ ./check_spec requirements.txt [options]
 //
 // Options:

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure + build + ctest.
+#   scripts/check.sh [extra cmake args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$build_dir" -S "$repo_root" "$@"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
