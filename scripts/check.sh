@@ -1,12 +1,38 @@
 #!/usr/bin/env bash
 # Tier-1 verify in one command: configure + build + ctest.
-#   scripts/check.sh [extra cmake args...]
+#   scripts/check.sh [-L label] [-LE label] [extra cmake args...]
+#
+# -L/-LE (and their long forms --label-regex/--label-exclude) are forwarded
+# to ctest so label filters work through the wrapper:
+#   scripts/check.sh -L tier1      # the fast per-module gate
+#   scripts/check.sh -L difftest   # the differential oracle harness
+# Everything else is passed to cmake (e.g. -DSPECCC_SANITIZE=ON).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "$build_dir" -S "$repo_root" "$@"
+cmake_args=()
+ctest_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -L|-LE|--label-regex|--label-exclude)
+      if [[ $# -lt 2 ]]; then
+        echo "error: $1 needs a label argument" >&2
+        exit 2
+      fi
+      ctest_args+=("$1" "$2")
+      shift 2
+      ;;
+    *)
+      cmake_args+=("$1")
+      shift
+      ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo_root" ${cmake_args[@]+"${cmake_args[@]}"}
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
+  ${ctest_args[@]+"${ctest_args[@]}"}

@@ -1,8 +1,11 @@
 #include "automata/gpvw.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <vector>
 
 #include "ltl/rewrite.hpp"
 #include "util/diagnostics.hpp"
@@ -68,14 +71,21 @@ struct TNode {
 
 class GpvwBuilder {
  public:
-  explicit GpvwBuilder(Formula phi) : phi_(phi) {}
+  GpvwBuilder(Formula phi, std::size_t max_nodes)
+      : phi_(phi),
+        max_nodes_(max_nodes),
+        // The tableau can burn exponential work in merged/discarded
+        // branches without registering new nodes, so the give-up condition
+        // also bounds processed work items, proportionally to the node cap
+        // (saturating: a huge cap must not overflow into a zero budget).
+        work_budget_(max_nodes > SIZE_MAX / 64 ? SIZE_MAX : max_nodes * 64) {}
 
-  Buchi run() {
+  std::optional<Buchi> run() {
     collect_untils(phi_);
     TNode start;
     start.incoming.insert(-1);
     start.news.insert(phi_);
-    expand(std::move(start));
+    if (!expand(std::move(start))) return std::nullopt;
     return finish();
   }
 
@@ -93,10 +103,12 @@ class GpvwBuilder {
   /// Iterative tableau expansion: the classic algorithm is recursive, but
   /// Next-chain formulas (X^n from timed requirements) would nest thousands
   /// of frames, so pending nodes live on an explicit worklist.
-  void expand(TNode start) {
+  [[nodiscard]] bool expand(TNode start) {
     std::vector<TNode> work;
     work.push_back(std::move(start));
     while (!work.empty()) {
+      if (work_budget_ == 0) return false;
+      --work_budget_;
       TNode node = std::move(work.back());
       work.pop_back();
       bool discarded = false;
@@ -183,22 +195,33 @@ class GpvwBuilder {
       if (discarded) continue;
 
       // Saturated: merge with an existing node or register a new one and
-      // queue its temporal successor.
+      // queue its temporal successor. The (olds, nexts) hash index
+      // replaces the classic linear scan, which is quadratic overall and
+      // dominated the construction beyond a few thousand nodes; buckets
+      // hold node ids, so no set is ever copied for the index.
+      const std::size_t hash = node_hash(node);
+      std::vector<int>& bucket = node_index_[hash];
       bool merged = false;
-      for (std::size_t i = 0; i < nodes_.size() && !merged; ++i) {
-        if (nodes_[i].olds == node.olds && nodes_[i].nexts == node.nexts) {
-          nodes_[i].incoming.insert(node.incoming.begin(), node.incoming.end());
+      for (const int candidate : bucket) {
+        TNode& existing = nodes_[static_cast<std::size_t>(candidate)];
+        if (existing.olds == node.olds && existing.nexts == node.nexts) {
+          existing.incoming.insert(node.incoming.begin(),
+                                   node.incoming.end());
           merged = true;
+          break;
         }
       }
       if (merged) continue;
+      if (nodes_.size() >= max_nodes_) return false;
       const int id = static_cast<int>(nodes_.size());
-      nodes_.push_back(node);
+      bucket.push_back(id);
       TNode next;
       next.incoming.insert(id);
       next.news = node.nexts;
+      nodes_.push_back(std::move(node));
       work.push_back(std::move(next));
     }
+    return true;
   }
 
   Cube label_of(const TNode& node) const {
@@ -285,14 +308,29 @@ class GpvwBuilder {
     return prune(out);
   }
 
+  /// Order-sensitive FNV-style combination of the hash-consed formula
+  /// hashes; olds/nexts are ordered sets, so equal node contents hash
+  /// equally.
+  static std::size_t node_hash(const TNode& node) {
+    std::size_t h = 14695981039346656037ULL;
+    for (const Formula f : node.olds) h = (h ^ f.hash()) * 1099511628211ULL;
+    h = (h ^ 0x9e3779b97f4a7c15ULL) * 1099511628211ULL;  // section break
+    for (const Formula f : node.nexts) h = (h ^ f.hash()) * 1099511628211ULL;
+    return h;
+  }
+
   Formula phi_;
+  std::size_t max_nodes_;
+  std::size_t work_budget_;
   std::set<Formula> untils_;
   std::vector<TNode> nodes_;
+  std::unordered_map<std::size_t, std::vector<int>> node_index_;
 };
 
 }  // namespace
 
-Buchi ltl_to_nbw(ltl::Formula f) {
+std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f,
+                                        std::size_t max_nodes) {
   const Formula core = to_core(ltl::nnf(f));
   if (core.op() == Op::kFalse) {
     Buchi empty;
@@ -301,9 +339,19 @@ Buchi ltl_to_nbw(ltl::Formula f) {
     empty.accepting.push_back(false);
     return empty;
   }
-  return GpvwBuilder(core).run();
+  return GpvwBuilder(core, max_nodes).run();
+}
+
+Buchi ltl_to_nbw(ltl::Formula f) {
+  auto result = ltl_to_nbw_bounded(f, SIZE_MAX);
+  speccc_check(result.has_value(), "unbounded tableau cannot give up");
+  return *std::move(result);
 }
 
 Buchi ucw_for(ltl::Formula f) { return ltl_to_nbw(ltl::lnot(f)); }
+
+std::optional<Buchi> ucw_for_bounded(ltl::Formula f, std::size_t max_nodes) {
+  return ltl_to_nbw_bounded(ltl::lnot(f), max_nodes);
+}
 
 }  // namespace speccc::automata

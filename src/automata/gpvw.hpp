@@ -13,6 +13,9 @@
 //     of !phi and treating its accepting states as rejecting.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+
 #include "automata/buchi.hpp"
 #include "ltl/formula.hpp"
 
@@ -21,9 +24,22 @@ namespace speccc::automata {
 /// Translate an LTL formula into a degeneralized NBW.
 [[nodiscard]] Buchi ltl_to_nbw(ltl::Formula f);
 
+/// Construction-bounded variant: gives up (nullopt) once the tableau
+/// registers more than max_nodes distinct nodes or exhausts a proportional
+/// expansion budget, so pathological formulas (long Next chains under
+/// conjoined G obligations are exponential) cost bounded time instead of
+/// minutes. Callers that can live with "don't know" -- the bounded
+/// synthesis engine, the differential harness -- use this.
+[[nodiscard]] std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f,
+                                                      std::size_t max_nodes);
+
 /// The UCW view for bounded synthesis: the NBW of !phi, whose accepting
 /// states are the UCW's rejecting states. A word satisfies phi iff every
 /// run of this automaton visits rejecting states only finitely often.
 [[nodiscard]] Buchi ucw_for(ltl::Formula f);
+
+/// Construction-bounded UCW (see ltl_to_nbw_bounded).
+[[nodiscard]] std::optional<Buchi> ucw_for_bounded(ltl::Formula f,
+                                                   std::size_t max_nodes);
 
 }  // namespace speccc::automata

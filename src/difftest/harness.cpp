@@ -1,0 +1,225 @@
+#include "difftest/harness.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "difftest/shrink.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::difftest {
+
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, kind, index) triples.
+constexpr auto mix = util::Rng::mix;
+
+}  // namespace
+
+std::uint64_t case_seed(std::uint64_t master_seed, CaseKind kind, int index) {
+  const std::uint64_t kind_salt =
+      kind == CaseKind::kFormula ? 0x666f726d756c6130ULL : 0x7370656343617365ULL;
+  return mix(master_seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(index) + 1) +
+             kind_salt);
+}
+
+namespace {
+
+void narrate(const RunOptions& options, const std::string& line) {
+  if (options.progress != nullptr) *options.progress << line << "\n";
+}
+
+std::string reproduce_command(const RunOptions& options, CaseKind kind,
+                              int index) {
+  // Replay must regenerate the exact same case, so every generation/oracle
+  // knob that differs from its default travels with the command.
+  static const RunOptions defaults;
+  std::ostringstream out;
+  out << "speccc_fuzz --seed " << options.seed;
+  if (options.formula.max_depth != defaults.formula.max_depth) {
+    out << " --max-depth " << options.formula.max_depth;
+  }
+  if (options.formula.props != defaults.formula.props) {
+    out << " --props " << options.formula.props.size();
+  }
+  if (options.oracle.lassos_per_formula !=
+      defaults.oracle.lassos_per_formula) {
+    out << " --lassos " << options.oracle.lassos_per_formula;
+  }
+  if (!options.shrink) out << " --no-shrink";
+  out << " " << (kind == CaseKind::kFormula ? "--formula-case" : "--spec-case")
+      << " " << index;
+  return out.str();
+}
+
+void run_formula_case(const RunOptions& options, int index, RunReport& report) {
+  const std::uint64_t cs = case_seed(options.seed, CaseKind::kFormula, index);
+  util::Rng generation(cs);
+  const ltl::Formula formula = random_formula(generation, options.formula);
+
+  // The oracle rng is re-seeded per predicate call so that the shrinker's
+  // re-checks are deterministic and the original failure reproduces.
+  const std::uint64_t oracle_seed = mix(cs);
+  const auto oracle_message =
+      [&](ltl::Formula f) -> std::optional<std::string> {
+    util::Rng rng(oracle_seed);
+    return check_formula(f, rng, options.oracle);
+  };
+
+  bool skipped = false;
+  util::Rng first_rng(oracle_seed);
+  const auto message =
+      check_formula(formula, first_rng, options.oracle, &skipped);
+  if (skipped) {
+    ++report.formulas_skipped;
+    narrate(options, "skip formula case " + std::to_string(index) +
+                         " (tableau cap)");
+    return;
+  }
+  ++report.formulas_checked;
+  if (!message) return;
+
+  CaseFailure failure;
+  failure.kind = CaseKind::kFormula;
+  failure.index = index;
+  failure.case_seed = cs;
+  failure.detail = *message;
+  failure.reproduce = reproduce_command(options, CaseKind::kFormula, index);
+  failure.shrunk = formula;
+  if (options.shrink) {
+    failure.shrunk = shrink_formula(
+        formula, [&](ltl::Formula f) { return oracle_message(f).has_value(); });
+  }
+  failure.shrunk_detail = oracle_message(failure.shrunk).value_or(*message);
+  narrate(options, "FAIL formula case " + std::to_string(index) + ": " +
+                       failure.shrunk_detail);
+  report.failures.push_back(std::move(failure));
+}
+
+void run_spec_case(const RunOptions& options, int index, RunReport& report) {
+  const std::uint64_t cs = case_seed(options.seed, CaseKind::kSpec, index);
+  util::Rng generation(cs);
+  const corpus::SpecScale scale =
+      random_scale(generation, options.spec,
+                   "fuzz" + std::to_string(index), mix(cs + 1));
+  const corpus::Theme theme = generation.chance(1, 2)
+                                  ? corpus::device_theme()
+                                  : corpus::application_theme();
+  const SpecCase spec = build_spec_case(corpus::generate_spec(scale, theme));
+
+  const std::uint64_t oracle_seed = mix(cs);
+  const auto oracle_message = [&](const std::vector<ltl::Formula>& requirements)
+      -> std::optional<std::string> {
+    util::Rng rng(oracle_seed);
+    return check_spec({requirements, spec.signature}, rng, options.oracle);
+  };
+
+  ++report.specs_checked;
+  const auto message = oracle_message(spec.requirements);
+  if (!message) return;
+
+  CaseFailure failure;
+  failure.kind = CaseKind::kSpec;
+  failure.index = index;
+  failure.case_seed = cs;
+  failure.detail = *message;
+  failure.reproduce = reproduce_command(options, CaseKind::kSpec, index);
+  failure.shrunk_spec = spec.requirements;
+  if (options.shrink) {
+    failure.shrunk_spec = shrink_spec(
+        spec.requirements, [&](const std::vector<ltl::Formula>& requirements) {
+          return oracle_message(requirements).has_value();
+        });
+  }
+  failure.shrunk_detail = oracle_message(failure.shrunk_spec).value_or(*message);
+  narrate(options, "FAIL spec case " + std::to_string(index) + ": " +
+                       failure.shrunk_detail);
+  report.failures.push_back(std::move(failure));
+}
+
+}  // namespace
+
+RunReport run(const RunOptions& options) {
+  RunReport report;
+  const int progress_stride = 100;
+  // Single-case replay: when either only_* index is set, nothing else
+  // runs -- not the other kind's cases either.
+  if (options.only_formula_case >= 0 || options.only_spec_case >= 0) {
+    if (options.only_formula_case >= 0) {
+      run_formula_case(options, options.only_formula_case, report);
+    }
+    if (options.only_spec_case >= 0) {
+      run_spec_case(options, options.only_spec_case, report);
+    }
+    return report;
+  }
+  {
+    // Keep drawing cases until `formula_cases` formulas were genuinely
+    // checked, topping up past tableau-cap skips (bounded attempts so a
+    // degenerate configuration -- e.g. a depth/cap combination that skips
+    // almost everything -- still terminates; a shortfall is reported, not
+    // hidden).
+    const int max_attempts = 2 * options.formula_cases + 64;
+    for (int i = 0; i < max_attempts &&
+                    report.formulas_checked < options.formula_cases;
+         ++i) {
+      if (static_cast<int>(report.failures.size()) >= options.max_failures) {
+        break;
+      }
+      if (i > 0 && i % progress_stride == 0) {
+        narrate(options, "formula case " + std::to_string(i) + "/" +
+                             std::to_string(options.formula_cases));
+      }
+      run_formula_case(options, i, report);
+    }
+    if (report.formulas_checked < options.formula_cases &&
+        static_cast<int>(report.failures.size()) < options.max_failures) {
+      narrate(options,
+              "WARNING: only " + std::to_string(report.formulas_checked) +
+                  " of " + std::to_string(options.formula_cases) +
+                  " formula cases checked (" +
+                  std::to_string(report.formulas_skipped) +
+                  " skipped at the tableau cap); raise max_tableau_nodes or "
+                  "lower the formula depth");
+    }
+  }
+  for (int i = 0; i < options.spec_cases; ++i) {
+    if (static_cast<int>(report.failures.size()) >= options.max_failures) {
+      break;
+    }
+    run_spec_case(options, i, report);
+  }
+  return report;
+}
+
+std::string describe(const RunReport& report) {
+  std::ostringstream out;
+  out << report.formulas_checked << " formula case(s)";
+  if (report.formulas_skipped > 0) {
+    out << " (+" << report.formulas_skipped << " skipped at the tableau cap)";
+  }
+  out << ", " << report.specs_checked << " spec case(s), "
+      << report.failures.size() << " failure(s)\n";
+  for (const CaseFailure& failure : report.failures) {
+    out << "\n"
+        << (failure.kind == CaseKind::kFormula ? "formula" : "spec")
+        << " case " << failure.index << " (case seed " << failure.case_seed
+        << ")\n"
+        << "  property:  " << failure.detail << "\n";
+    if (failure.kind == CaseKind::kFormula) {
+      out << "  minimized: " << ltl::to_string(failure.shrunk) << "\n";
+    } else {
+      out << "  minimized:\n";
+      for (const ltl::Formula f : failure.shrunk_spec) {
+        out << "    " << ltl::to_string(f) << "\n";
+      }
+    }
+    if (failure.shrunk_detail != failure.detail) {
+      out << "  which now fails as: " << failure.shrunk_detail << "\n";
+    }
+    out << "  reproduce: " << failure.reproduce << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace speccc::difftest

@@ -1,0 +1,75 @@
+// The differential fuzzing harness: seeded case generation, oracle
+// checking, and shrinking, shared by tests/difftest_test.cpp and the
+// standalone speccc_fuzz driver.
+//
+// Reproducibility contract: every case's inputs derive from
+// case_seed(master_seed, kind, index) alone, so a failure report's
+// `reproduce` field ("speccc_fuzz --seed S --formula-case K") replays
+// exactly one case -- generation, oracle randomness, and shrinking
+// included -- without re-running the cases before it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "difftest/oracle.hpp"
+#include "difftest/random.hpp"
+
+namespace speccc::difftest {
+
+enum class CaseKind { kFormula, kSpec };
+
+struct RunOptions {
+  std::uint64_t seed = 1;
+  int formula_cases = 500;
+  int spec_cases = 50;
+  FormulaConfig formula;
+  SpecConfig spec;
+  OracleOptions oracle;
+  bool shrink = true;
+  /// Stop after this many failures (shrinking each is expensive).
+  int max_failures = 10;
+  /// Run only one case of the given index; -1 means all. When either is
+  /// set, nothing else runs (the other kind's cases included).
+  int only_formula_case = -1;
+  int only_spec_case = -1;
+  /// Optional progress narration (the fuzz driver passes std::cerr).
+  std::ostream* progress = nullptr;
+};
+
+struct CaseFailure {
+  CaseKind kind = CaseKind::kFormula;
+  int index = 0;
+  std::uint64_t case_seed = 0;
+  std::string detail;          // oracle message for the original case
+  std::string reproduce;       // one command to replay exactly this case
+  ltl::Formula shrunk;                    // kFormula: minimized formula
+  std::vector<ltl::Formula> shrunk_spec;  // kSpec: minimized requirements
+  std::string shrunk_detail;   // oracle message for the minimized case
+};
+
+struct RunReport {
+  int formulas_checked = 0;
+  /// Formula cases abandoned because the tableau outgrew
+  /// OracleOptions::max_tableau_nodes (reported, never silent).
+  int formulas_skipped = 0;
+  int specs_checked = 0;
+  std::vector<CaseFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Derived per-case seed (splitmix64 of master seed and case index).
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t master_seed, CaseKind kind,
+                                      int index);
+
+/// Run the harness: formula cases first, then spec cases.
+[[nodiscard]] RunReport run(const RunOptions& options);
+
+/// Human-readable report: every failure with its minimized form and
+/// reproduction command.
+[[nodiscard]] std::string describe(const RunReport& report);
+
+}  // namespace speccc::difftest

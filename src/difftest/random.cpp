@@ -1,0 +1,100 @@
+#include "difftest/random.hpp"
+
+#include <algorithm>
+
+namespace speccc::difftest {
+
+std::vector<std::string> proposition_pool(std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back("p" + std::to_string(i));
+  return out;
+}
+
+namespace {
+
+ltl::Formula random_leaf(util::Rng& rng, const FormulaConfig& config) {
+  if (rng.chance(config.constant_percent, 100)) {
+    return rng.chance(1, 2) ? ltl::tru() : ltl::fls();
+  }
+  return ltl::ap(config.props[rng.below(config.props.size())]);
+}
+
+ltl::Formula random_at(util::Rng& rng, const FormulaConfig& config,
+                       std::size_t depth) {
+  if (depth >= config.max_depth ||
+      rng.chance(config.early_leaf_percent, 100)) {
+    return random_leaf(rng, config);
+  }
+  const auto sub = [&] { return random_at(rng, config, depth + 1); };
+  if (rng.chance(config.temporal_percent, 100)) {
+    switch (rng.below(6)) {
+      case 0: return ltl::next(sub());
+      case 1: return ltl::eventually(sub());
+      case 2: return ltl::always(sub());
+      case 3: return ltl::until(sub(), sub());
+      case 4: return ltl::weak_until(sub(), sub());
+      default: return ltl::release(sub(), sub());
+    }
+  }
+  switch (rng.below(5)) {
+    case 0: return ltl::lnot(sub());
+    case 1: {
+      // Binary or ternary conjunction/disjunction, exercising flattening.
+      const bool ternary = rng.chance(1, 4);
+      std::vector<ltl::Formula> fs = {sub(), sub()};
+      if (ternary) fs.push_back(sub());
+      return ltl::land(std::move(fs));
+    }
+    case 2: {
+      const bool ternary = rng.chance(1, 4);
+      std::vector<ltl::Formula> fs = {sub(), sub()};
+      if (ternary) fs.push_back(sub());
+      return ltl::lor(std::move(fs));
+    }
+    case 3: return ltl::implies(sub(), sub());
+    default: return ltl::iff(sub(), sub());
+  }
+}
+
+}  // namespace
+
+ltl::Formula random_formula(util::Rng& rng, const FormulaConfig& config) {
+  speccc_check(!config.props.empty(), "formula config needs propositions");
+  return random_at(rng, config, 0);
+}
+
+ltl::Lasso random_lasso(util::Rng& rng, const LassoConfig& config) {
+  speccc_check(config.max_loop >= 1, "lasso loop must allow length >= 1");
+  const std::size_t prefix = rng.below(config.max_prefix + 1);
+  const std::size_t loop = 1 + rng.below(config.max_loop);
+  std::vector<ltl::Valuation> steps;
+  steps.reserve(prefix + loop);
+  for (std::size_t i = 0; i < prefix + loop; ++i) {
+    ltl::Valuation v;
+    for (const auto& p : config.props) {
+      if (rng.chance(1, 2)) v.insert(p);
+    }
+    steps.push_back(std::move(v));
+  }
+  return ltl::Lasso(std::move(steps), prefix);
+}
+
+corpus::SpecScale random_scale(util::Rng& rng, const SpecConfig& config,
+                               std::string name, std::uint64_t seed) {
+  corpus::SpecScale scale;
+  scale.name = std::move(name);
+  scale.formulas = rng.range(config.min_formulas, config.max_formulas);
+  scale.inputs = rng.range(config.min_inputs, config.max_inputs);
+  scale.outputs = rng.range(config.min_outputs, config.max_outputs);
+  // Keep the scale inside the generator's per-requirement budget
+  // (at most 3 fresh inputs and 2 fresh outputs per sentence).
+  scale.inputs = std::min(scale.inputs, 3 * scale.formulas);
+  scale.outputs = std::min(scale.outputs, 2 * scale.formulas);
+  scale.seed = seed;
+  scale.response_percent = config.response_percent;
+  scale.timed_percent = config.timed_percent;
+  return scale;
+}
+
+}  // namespace speccc::difftest

@@ -1,0 +1,77 @@
+// Seeded random-input generators for the differential oracle harness.
+//
+// Everything here is a pure function of a util::Rng stream, so a single
+// 64-bit seed reproduces any generated formula, lasso, or specification
+// scale bit-for-bit. The harness (difftest/harness.hpp) derives one seed
+// per case, which is what makes every reported failure a one-command
+// reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.hpp"
+#include "ltl/formula.hpp"
+#include "ltl/trace.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::difftest {
+
+/// Shape of random formulas: a proposition pool, a depth budget, and the
+/// operator mix (temporal vs. boolean connectives, constant leaves).
+struct FormulaConfig {
+  std::vector<std::string> props = {"p", "q", "r"};
+  std::size_t max_depth = 4;
+  /// Chance (percent) that an inner node is temporal (X/F/G/U/W/R) rather
+  /// than a boolean connective (!/&&/||/->/<->).
+  unsigned temporal_percent = 55;
+  /// Chance (percent) that a leaf is a constant (true/false) instead of a
+  /// proposition.
+  unsigned constant_percent = 8;
+  /// Chance (percent) of cutting a branch short before max_depth, biasing
+  /// toward small formulas so counterexamples start near minimal.
+  unsigned early_leaf_percent = 20;
+};
+
+/// "p0", "p1", ... -- a pool of n distinct proposition names.
+[[nodiscard]] std::vector<std::string> proposition_pool(std::size_t n);
+
+/// Draw a random formula. Hash-consing may fold the draw into something
+/// smaller than the nominal shape (e.g. p && p), which is fine: the oracle
+/// properties are closed under simplification.
+[[nodiscard]] ltl::Formula random_formula(util::Rng& rng,
+                                          const FormulaConfig& config);
+
+/// Shape of random ultimately periodic words.
+struct LassoConfig {
+  std::vector<std::string> props = {"p", "q", "r"};
+  std::size_t max_prefix = 3;  // prefix length in [0, max_prefix]
+  std::size_t max_loop = 4;    // loop length in [1, max_loop]
+};
+
+/// Draw a random lasso: each position is an independent uniform valuation
+/// over the pool.
+[[nodiscard]] ltl::Lasso random_lasso(util::Rng& rng, const LassoConfig& config);
+
+/// Shape of random generated specifications, kept inside the bounded
+/// engine's comfort zone (alphabet enumeration is exponential in I+O).
+struct SpecConfig {
+  int min_formulas = 3;
+  int max_formulas = 7;
+  int min_inputs = 2;
+  int max_inputs = 3;
+  int min_outputs = 2;
+  int max_outputs = 3;
+  unsigned response_percent = 25;  // F obligations
+  unsigned timed_percent = 25;     // "in N seconds" deadlines
+};
+
+/// Draw a corpus::SpecScale; `seed` becomes the scale's own generator seed
+/// so the sentence text is reproducible from the case seed alone.
+[[nodiscard]] corpus::SpecScale random_scale(util::Rng& rng,
+                                             const SpecConfig& config,
+                                             std::string name,
+                                             std::uint64_t seed);
+
+}  // namespace speccc::difftest

@@ -1,0 +1,132 @@
+#include "difftest/shrink.hpp"
+
+#include <algorithm>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::difftest {
+
+namespace {
+
+using ltl::Formula;
+using ltl::Op;
+
+/// Rebuild f with child i replaced by g, going through the factory
+/// functions so normalization reapplies.
+Formula replace_child(Formula f, std::size_t i, Formula g) {
+  std::vector<Formula> kids = f.children();
+  kids[i] = g;
+  switch (f.op()) {
+    case Op::kNot: return ltl::lnot(kids[0]);
+    case Op::kAnd: return ltl::land(std::move(kids));
+    case Op::kOr: return ltl::lor(std::move(kids));
+    case Op::kImplies: return ltl::implies(kids[0], kids[1]);
+    case Op::kIff: return ltl::iff(kids[0], kids[1]);
+    case Op::kNext: return ltl::next(kids[0]);
+    case Op::kEventually: return ltl::eventually(kids[0]);
+    case Op::kAlways: return ltl::always(kids[0]);
+    case Op::kUntil: return ltl::until(kids[0], kids[1]);
+    case Op::kWeakUntil: return ltl::weak_until(kids[0], kids[1]);
+    case Op::kRelease: return ltl::release(kids[0], kids[1]);
+    case Op::kTrue:
+    case Op::kFalse:
+    case Op::kAp:
+      break;
+  }
+  speccc_check(false, "replace_child on a leaf");
+  return f;  // unreachable
+}
+
+/// Rebuild an n-ary And/Or with operand i removed (arity must stay >= 1).
+Formula drop_operand(Formula f, std::size_t i) {
+  std::vector<Formula> kids = f.children();
+  kids.erase(kids.begin() + static_cast<std::ptrdiff_t>(i));
+  return f.op() == Op::kAnd ? ltl::land(std::move(kids))
+                            : ltl::lor(std::move(kids));
+}
+
+}  // namespace
+
+std::vector<Formula> shrink_candidates(Formula f) {
+  std::vector<Formula> out;
+  const auto push = [&](Formula g) {
+    if (!g.is_null() && g != f && g.length() < f.length()) out.push_back(g);
+  };
+  push(ltl::tru());
+  push(ltl::fls());
+  for (std::size_t i = 0; i < f.arity(); ++i) push(f.child(i));
+  if ((f.op() == Op::kAnd || f.op() == Op::kOr) && f.arity() > 2) {
+    for (std::size_t i = 0; i < f.arity(); ++i) push(drop_operand(f, i));
+  }
+  for (std::size_t i = 0; i < f.arity(); ++i) {
+    for (Formula g : shrink_candidates(f.child(i))) {
+      push(replace_child(f, i, g));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](Formula a, Formula b) {
+    if (a.length() != b.length()) return a.length() < b.length();
+    return a.id() < b.id();
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Formula shrink_formula(Formula f, const FormulaPredicate& fails,
+                       std::size_t max_evaluations) {
+  std::size_t evals = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (Formula cand : shrink_candidates(f)) {
+      if (evals >= max_evaluations) return f;
+      ++evals;
+      if (fails(cand)) {
+        f = cand;
+        progress = true;
+        break;  // restart from the smaller formula
+      }
+    }
+  }
+  return f;
+}
+
+std::vector<Formula> shrink_spec(std::vector<Formula> spec,
+                                 const SpecPredicate& fails,
+                                 std::size_t max_evaluations) {
+  std::size_t evals = 0;
+  // Phase 1: greedily drop whole requirements.
+  bool progress = true;
+  while (progress && spec.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < spec.size(); ++i) {
+      std::vector<Formula> cand = spec;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (evals >= max_evaluations) return spec;
+      ++evals;
+      if (fails(cand)) {
+        spec = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Phase 2: shrink each surviving requirement in place.
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const std::size_t budget =
+        max_evaluations > evals ? max_evaluations - evals : 0;
+    std::size_t used = 0;
+    spec[i] = shrink_formula(
+        spec[i],
+        [&](Formula g) {
+          ++used;
+          std::vector<Formula> cand = spec;
+          cand[i] = g;
+          return fails(cand);
+        },
+        budget);
+    evals += used;
+  }
+  return spec;
+}
+
+}  // namespace speccc::difftest

@@ -1,0 +1,47 @@
+// Greedy counterexample minimization for the differential oracle harness.
+//
+// When a cross-check property fails on a random formula (or a generated
+// specification), the raw counterexample is usually dozens of nodes of
+// noise around a small core. The shrinker repeatedly replaces the failing
+// input with a strictly smaller variant that still fails, so reports show
+// the minimal disagreement (typically a handful of nodes) instead of the
+// original draw.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "ltl/formula.hpp"
+
+namespace speccc::difftest {
+
+/// One-step structural reductions of f, each strictly smaller than f by
+/// length(): the constants true/false, every direct subformula, and f with
+/// one child replaced by one of that child's own reductions. Sorted by
+/// ascending length so greedy search tries the most aggressive cut first.
+[[nodiscard]] std::vector<ltl::Formula> shrink_candidates(ltl::Formula f);
+
+/// Predicate over formulas; true means "still fails" (keep shrinking).
+/// Must be deterministic: the harness re-seeds the oracle's RNG per call.
+using FormulaPredicate = std::function<bool(ltl::Formula)>;
+
+/// Greedy minimization: while some candidate still satisfies `fails`, step
+/// to the smallest such candidate. `max_evaluations` bounds the number of
+/// predicate calls (each call may re-run a synthesis engine). The result
+/// satisfies `fails` whenever the input does.
+[[nodiscard]] ltl::Formula shrink_formula(ltl::Formula f,
+                                          const FormulaPredicate& fails,
+                                          std::size_t max_evaluations = 2000);
+
+/// Predicate over requirement lists; true means "still fails".
+using SpecPredicate = std::function<bool(const std::vector<ltl::Formula>&)>;
+
+/// Specification minimization: first greedily drop whole requirements,
+/// then shrink each surviving formula in place with shrink_formula. The
+/// result satisfies `fails` whenever the input does.
+[[nodiscard]] std::vector<ltl::Formula> shrink_spec(
+    std::vector<ltl::Formula> spec, const SpecPredicate& fails,
+    std::size_t max_evaluations = 2000);
+
+}  // namespace speccc::difftest

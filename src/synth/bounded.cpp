@@ -28,18 +28,23 @@ class BoundedGame {
  public:
   BoundedGame(const Buchi& ucw, std::vector<ltl::Valuation> first_letters,
               std::vector<ltl::Valuation> second_letters, bool safe_moves_second,
-              int k)
+              int k, std::size_t max_positions)
       : ucw_(ucw),
         first_letters_(std::move(first_letters)),
         second_letters_(std::move(second_letters)),
         safe_second_(safe_moves_second),
-        k_(k) {
+        k_(k),
+        max_positions_(max_positions) {
     // Pre-merge letters: valuation of a step is the union of the first and
     // second mover's letters (they range over disjoint propositions).
     build();
   }
 
-  [[nodiscard]] bool safe_player_wins() const { return result_.initial_safe(arena_); }
+  /// True when exploration hit max_positions; the winner is then unknown.
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] bool safe_player_wins() const {
+    return !aborted_ && result_.initial_safe(arena_);
+  }
   [[nodiscard]] std::size_t positions() const { return arena_.size(); }
 
   /// Extract the SAFE responder's strategy as a Mealy machine (primal game
@@ -107,6 +112,10 @@ class BoundedGame {
         safe_second_ ? game::Owner::kSafe : game::Owner::kReach;
 
     while (!frontier_.empty()) {
+      if (arena_.size() > max_positions_) {
+        aborted_ = true;
+        return;  // partial arena: solving it would prove nothing
+      }
       const int id = frontier_.back();
       frontier_.pop_back();
       const int from_pos = counter_pos_[static_cast<std::size_t>(id)];
@@ -134,6 +143,8 @@ class BoundedGame {
   std::vector<std::vector<ltl::Valuation>> joint_;
   bool safe_second_;
   int k_;
+  std::size_t max_positions_;
+  bool aborted_ = false;
 
   game::Arena arena_;
   game::SafetyResult result_;
@@ -222,17 +233,32 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
     }
   }
 
-  const Buchi primal_ucw = automata::ucw_for(spec);
-  const Buchi dual_ucw = automata::ucw_for(ltl::lnot(spec));
+  BoundedOutcome outcome;
+  const auto primal_opt = automata::ucw_for_bounded(spec, options.max_ucw_states);
+  if (!primal_opt) {
+    outcome.aborted = true;
+    return outcome;
+  }
+  const Buchi& primal_ucw = *primal_opt;
+  outcome.ucw_states = primal_ucw.num_states();
+  if (primal_ucw.num_states() > options.max_ucw_states) {
+    outcome.aborted = true;
+    return outcome;
+  }
+  const auto dual_opt =
+      automata::ucw_for_bounded(ltl::lnot(spec), options.max_ucw_states);
+  if (!dual_opt || dual_opt->num_states() > options.max_ucw_states) {
+    outcome.aborted = true;
+    return outcome;
+  }
+  const Buchi& dual_ucw = *dual_opt;
   const auto inputs = enumerate_letters(signature.inputs);
   const auto outputs = enumerate_letters(signature.outputs);
 
-  BoundedOutcome outcome;
-  outcome.ucw_states = primal_ucw.num_states();
-
   for (int k = 0; k <= options.max_k; ++k) {
     // Primal: environment picks inputs first, system responds; system SAFE.
-    BoundedGame primal(primal_ucw, inputs, outputs, /*safe_moves_second=*/true, k);
+    BoundedGame primal(primal_ucw, inputs, outputs, /*safe_moves_second=*/true,
+                       k, options.max_game_positions);
     outcome.game_positions = std::max(outcome.game_positions, primal.positions());
     if (primal.safe_player_wins()) {
       outcome.verdict = Realizability::kRealizable;
@@ -242,12 +268,19 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
     }
     // Dual: environment commits inputs first and must keep the UCW of !spec
     // bounded; the system responds adversarially. Environment SAFE.
-    BoundedGame dual(dual_ucw, inputs, outputs, /*safe_moves_second=*/false, k);
+    BoundedGame dual(dual_ucw, inputs, outputs, /*safe_moves_second=*/false, k,
+                     options.max_game_positions);
     outcome.game_positions = std::max(outcome.game_positions, dual.positions());
     if (dual.safe_player_wins()) {
       outcome.verdict = Realizability::kUnrealizable;
       outcome.k_used = k;
       return outcome;
+    }
+    // An aborted game proves nothing, and a larger k only grows the arena:
+    // stop escalating and report the bound-limited verdict.
+    if (primal.aborted() || dual.aborted()) {
+      outcome.aborted = true;
+      break;
     }
   }
   outcome.verdict = Realizability::kUnknown;

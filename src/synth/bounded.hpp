@@ -35,6 +35,16 @@ struct BoundedOptions {
   int max_k = 8;              // counter bound escalation limit
   bool extract = true;        // build the Mealy controller on success
   std::size_t max_alphabet_bits = 14;  // |inputs| + |outputs| hard cap
+  /// Abort a game whose arena outgrows this many positions. An aborted
+  /// primal game cannot prove realizability (and vice versa), so exceeding
+  /// the cap degrades the verdict to kUnknown instead of grinding; SIZE_MAX
+  /// (the default) never aborts. The differential harness relies on this to
+  /// keep pathological X-chain specifications time-bounded.
+  std::size_t max_game_positions = SIZE_MAX;
+  /// Give up (kUnknown, aborted) when either UCW exceeds this many states
+  /// before any game is played: a big UCW makes every counter game blow
+  /// past max_game_positions anyway, so playing them only burns time.
+  std::size_t max_ucw_states = SIZE_MAX;
 };
 
 struct BoundedOutcome {
@@ -42,6 +52,9 @@ struct BoundedOutcome {
   int k_used = -1;                      // bound at which the verdict fired
   std::size_t game_positions = 0;       // peak arena size
   std::size_t ucw_states = 0;
+  /// True when some game hit max_game_positions (verdict left kUnknown
+  /// unless the other game still decided it).
+  bool aborted = false;
   std::optional<MealyMachine> controller;  // primal winner only
 };
 

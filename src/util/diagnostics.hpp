@@ -67,12 +67,16 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : state_(seed) {}
 
-  std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  /// The splitmix64 finalizer: a stateless bijective mixer, also used on
+  /// its own to derive decorrelated child seeds (difftest's per-case
+  /// seeds) from structured inputs.
+  static std::uint64_t mix(std::uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
   }
+
+  std::uint64_t next() { return mix(state_ += 0x9e3779b97f4a7c15ULL); }
 
   /// Uniform integer in [0, bound). bound must be positive.
   std::uint64_t below(std::uint64_t bound) { return next() % bound; }

@@ -94,6 +94,26 @@ TEST(Gpvw, UcwViewIsComplementConstruction) {
   EXPECT_TRUE(automata::accepts_lasso(ucw, bad));
 }
 
+TEST(Gpvw, BoundedConstructionMatchesUnboundedUnderGenerousCap) {
+  for (const char* text : {"G (a -> F b)", "a U (b R c)", "G (a -> X X b)"}) {
+    const ltl::Formula phi = ltl::parse(text);
+    const auto bounded = automata::ltl_to_nbw_bounded(phi, 100'000);
+    ASSERT_TRUE(bounded.has_value()) << text;
+    EXPECT_EQ(bounded->num_states(), automata::ltl_to_nbw(phi).num_states())
+        << text;
+  }
+}
+
+TEST(Gpvw, BoundedConstructionGivesUpUnderTightCap) {
+  // Two interleaved Next chains under G force more than two tableau nodes.
+  const ltl::Formula phi =
+      ltl::parse("G (a -> X X X b) && G (c -> X X d) && G (b -> F c)");
+  EXPECT_FALSE(automata::ltl_to_nbw_bounded(phi, 2).has_value());
+  EXPECT_FALSE(automata::ucw_for_bounded(phi, 2).has_value());
+  // The unbounded entry point still succeeds.
+  EXPECT_GT(automata::ltl_to_nbw(phi).num_states(), 2u);
+}
+
 TEST(Prune, KeepsLanguage) {
   const ltl::Formula phi = ltl::parse("F (a && X a)");
   const auto nbw = automata::ltl_to_nbw(phi);  // ltl_to_nbw already prunes

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "difftest/random.hpp"
 #include "ltl/formula.hpp"
 #include "ltl/parser.hpp"
 #include "ltl/patterns.hpp"
@@ -136,6 +137,28 @@ TEST(Parser, RejectsMalformedInput) {
   EXPECT_THROW((void)ltl::parse("->"), speccc::util::ParseError);
 }
 
+// Round-trip property: under hash-consing, parse(to_string(f)) must return
+// the very same node for arbitrary formulas, not just the hand-picked list
+// above. The difftest generator supplies the arbitrary part.
+TEST(Parser, RoundTripsRandomFormulas) {
+  speccc::difftest::FormulaConfig config;
+  config.max_depth = 5;
+  speccc::util::Rng rng(20260730);
+  for (int i = 0; i < 300; ++i) {
+    const Formula f = speccc::difftest::random_formula(rng, config);
+    EXPECT_EQ(ltl::parse(ltl::to_string(f)), f)
+        << "round trip failed for: " << ltl::to_string(f);
+  }
+}
+
+TEST(Parser, RoundTripsThePaperStyleTooDeepNesting) {
+  // Regression guard for printer precedence: deeply right-nested binary
+  // temporal operators round-trip without parenthesis loss.
+  const std::string in = "a U (b W (c R (a U b)))";
+  const Formula f = ltl::parse(in);
+  EXPECT_EQ(ltl::parse(ltl::to_string(f)), f);
+}
+
 TEST(Rewrite, NnfPushesNegations) {
   Formula f = ltl::lnot(ltl::always(ltl::implies(a(), ltl::eventually(b()))));
   // !G(a -> F b) == F (a && G !b)
@@ -249,6 +272,60 @@ TEST(Trace, PaperFootnoteFormulaOnWitness) {
   EXPECT_TRUE(ltl::evaluate(ltl::parse("G (out <-> X X X in)"), w, 0));
   auto w2 = make_lasso({{"out"}, {}, {}, {"in"}}, 3);
   EXPECT_FALSE(ltl::evaluate(ltl::parse("G (out <-> X X X in)"), w2, 0));
+}
+
+// ---- Lasso edge cases -------------------------------------------------------
+
+TEST(Lasso, SingleStepLoop) {
+  // One position that loops on itself: successor(0) == 0.
+  auto w = make_lasso({{"p"}}, 0);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.successor(0), 0u);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G p"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X p"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X X X p"), w, 0));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("F q"), w, 0));
+}
+
+TEST(Lasso, LoopStartAtLastPosition) {
+  // The loop is the single final position: the suffix stutters forever.
+  auto w = make_lasso({{"a"}, {}, {"p"}}, 2);
+  EXPECT_EQ(w.successor(0), 1u);
+  EXPECT_EQ(w.successor(1), 2u);
+  EXPECT_EQ(w.successor(2), 2u);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("F G p"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G (a -> F p)"), w, 0));
+  // a never recurs once the loop is entered.
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("G F a"), w, 0));
+}
+
+TEST(Lasso, WrapAroundSuccessor) {
+  // Loop of length 3 starting at 1: the last position wraps to 1, not 0.
+  auto w = make_lasso({{"a"}, {"p"}, {}, {"q"}}, 1);
+  EXPECT_EQ(w.successor(3), 1u);
+  // X at the last position reads the loop start.
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("X p"), w, 3));
+  // a lives only in the never-revisited prefix.
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("a && !F X X X X a"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G F q"), w, 0));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G F p"), w, 3));
+}
+
+TEST(Lasso, EvaluateAtLaterPositions) {
+  auto w = make_lasso({{"p"}, {"q"}, {"r"}}, 1);
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("q"), w, 1));
+  EXPECT_TRUE(ltl::evaluate(ltl::parse("G (q || r)"), w, 1));
+  EXPECT_FALSE(ltl::evaluate(ltl::parse("F p"), w, 1));
+}
+
+TEST(Lasso, RejectsMalformedShapes) {
+  // Empty step list and out-of-range loop start violate the contract.
+  EXPECT_THROW(ltl::Lasso(std::vector<ltl::Valuation>{}, 0),
+               speccc::util::InternalError);
+  EXPECT_THROW(make_lasso({{"p"}, {}}, 2), speccc::util::InternalError);
+  auto w = make_lasso({{"p"}}, 0);
+  EXPECT_THROW((void)w.at(1), speccc::util::InternalError);
+  EXPECT_THROW((void)w.successor(1), speccc::util::InternalError);
 }
 
 // Property sweep: NNF preserves lasso semantics on a family of formulas and
