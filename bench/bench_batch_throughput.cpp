@@ -1,0 +1,60 @@
+// Batch-checking throughput: the three Table I corpora and a generated
+// 32-spec workload through the work-stealing scheduler at increasing
+// worker counts. The specs-per-second counter is the headline number the
+// CI bench job tracks (BENCH_latest.json); the jobs=1 row is the
+// sequential baseline the >1 rows are compared against for the batch
+// speedup.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "batch/corpus_tasks.hpp"
+#include "corpus/generator.hpp"
+
+namespace {
+
+using speccc::batch::BatchOptions;
+using speccc::batch::BatchReport;
+using speccc::batch::SpecTask;
+
+void run_batch(benchmark::State& state, const std::vector<SpecTask>& tasks) {
+  BatchOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  std::size_t checked = 0;
+  for (auto _ : state) {
+    const BatchReport report = speccc::batch::check(tasks, options);
+    benchmark::DoNotOptimize(report.consistent);
+    checked += report.results.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+}
+
+/// All 22 Table I rows per iteration (the paper's full evaluation).
+void BM_BatchTable1(benchmark::State& state) {
+  const std::vector<SpecTask> tasks = speccc::batch::table1_tasks();
+  run_batch(state, tasks);
+}
+BENCHMARK(BM_BatchTable1)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// A 32-spec generated workload (the fuzzing-throughput shape: many small
+/// independent specs, where stealing matters more than per-spec cost).
+void BM_BatchGenerated(benchmark::State& state) {
+  std::vector<SpecTask> tasks;
+  for (int i = 0; i < 32; ++i) {
+    speccc::corpus::SpecScale scale{
+        "gen" + std::to_string(i), 6 + i % 5, 3 + i % 3, 3 + i % 4,
+        static_cast<std::uint64_t>(i) * 131 + 7,
+        /*response_percent=*/20, /*timed_percent=*/15};
+    tasks.push_back({scale.name, speccc::corpus::generate_spec(
+                                     scale, speccc::corpus::device_theme())});
+  }
+  run_batch(state, tasks);
+}
+BENCHMARK(BM_BatchGenerated)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

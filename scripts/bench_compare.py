@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Merge Google Benchmark JSON outputs and compare against a baseline.
+
+Used by the CI bench job:
+
+    bench_compare.py --baseline bench/BENCH_baseline.json \
+        --out BENCH_latest.json fig1.json substrates.json batch.json
+
+Merges the per-binary benchmark JSON files into one document (first file's
+context wins, benchmarks arrays concatenate), writes it to --out, and
+compares every benchmark's real_time against the committed baseline by
+name. Regressions beyond --threshold percent produce warnings (GitHub
+``::warning::`` annotations when running under Actions) but exit 0 --
+benchmark noise on shared runners must not gate merges. Pass --strict to
+exit 1 on regressions instead. Baseline entries missing from the run (or
+vice versa) are reported, never fatal.
+
+Only the Python standard library is used.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+# Normalize every reading to nanoseconds before comparing.
+_TIME_UNITS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def merge(paths: list[str]) -> dict:
+    merged: dict = {}
+    benchmarks: list[dict] = []
+    for path in paths:
+        doc = load(path)
+        if not merged:
+            merged = {k: v for k, v in doc.items() if k != "benchmarks"}
+        benchmarks.extend(doc.get("benchmarks", []))
+    merged["benchmarks"] = benchmarks
+    return merged
+
+
+def real_times_ns(doc: dict) -> dict[str, float]:
+    times: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        value = bench.get("real_time")
+        unit = _TIME_UNITS.get(bench.get("time_unit", "ns"))
+        if name is None or value is None or unit is None:
+            continue
+        times[name] = float(value) * unit
+    return times
+
+
+def warn(message: str) -> None:
+    if os.environ.get("GITHUB_ACTIONS") == "true":
+        print(f"::warning::{message}")
+    else:
+        print(f"warning: {message}", file=sys.stderr)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="+",
+                        help="benchmark JSON files to merge")
+    parser.add_argument("--baseline", default="bench/BENCH_baseline.json",
+                        help="committed baseline to compare against")
+    parser.add_argument("--out", default="BENCH_latest.json",
+                        help="merged output path")
+    parser.add_argument("--threshold", type=float, default=25.0,
+                        help="regression warning threshold in percent")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on regressions instead of warning")
+    args = parser.parse_args()
+
+    latest = merge(args.results)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(latest, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out} ({len(latest['benchmarks'])} benchmarks)")
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; comparison skipped")
+        return 0
+
+    base_times = real_times_ns(load(args.baseline))
+    new_times = real_times_ns(latest)
+
+    regressions = 0
+    for name in sorted(new_times):
+        if name not in base_times:
+            print(f"  new benchmark (no baseline): {name}")
+            continue
+        base, new = base_times[name], new_times[name]
+        if base <= 0:
+            continue
+        delta = 100.0 * (new - base) / base
+        marker = ""
+        if delta > args.threshold:
+            regressions += 1
+            marker = "  <-- REGRESSION"
+            warn(f"{name}: {delta:+.1f}% vs baseline "
+                 f"({base / 1e6:.3f} ms -> {new / 1e6:.3f} ms)")
+        print(f"  {name}: {delta:+.1f}%{marker}")
+    for name in sorted(set(base_times) - set(new_times)):
+        print(f"  baseline benchmark missing from this run: {name}")
+
+    if regressions:
+        print(f"{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}% (warning only)" if not args.strict else
+              f"{regressions} benchmark(s) regressed more than "
+              f"{args.threshold:.0f}%")
+        return 1 if args.strict else 0
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # output piped into head et al.
+        sys.exit(0)

@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 verify in one command: configure + build + ctest.
-#   scripts/check.sh [-L label] [-LE label] [extra cmake args...]
+# Tier-1 verify in one command: configure + build + ctest + batch smoke.
+#   scripts/check.sh [-j N] [-L label] [-LE label] [extra cmake args...]
 #
 # -L/-LE (and their long forms --label-regex/--label-exclude) are forwarded
 # to ctest so label filters work through the wrapper:
 #   scripts/check.sh -L tier1      # the fast per-module gate
 #   scripts/check.sh -L difftest   # the differential oracle harness
+# -j N overrides the build/ctest parallelism AND the worker count of the
+# speccc_batch smoke (default: nproc / 2 workers).
 # Everything else is passed to cmake (e.g. -DSPECCC_SANITIZE=ON).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+batch_jobs=2
 
 cmake_args=()
 ctest_args=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
+    -j)
+      if [[ $# -lt 2 ]]; then
+        echo "error: -j needs a job count" >&2
+        exit 2
+      fi
+      jobs="$2"
+      batch_jobs="$2"
+      shift 2
+      ;;
     -L|-LE|--label-regex|--label-exclude)
       if [[ $# -lt 2 ]]; then
         echo "error: $1 needs a label argument" >&2
@@ -36,3 +48,14 @@ cmake -B "$build_dir" -S "$repo_root" ${cmake_args[@]+"${cmake_args[@]}"}
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
   ${ctest_args[@]+"${ctest_args[@]}"}
+
+# Batch smoke: the parallel checker over the example specification
+# documents (skipped when tools were configured off). Exit code 0 means
+# every example spec is consistent and no worker errored.
+batch_bin="$build_dir/tools/speccc_batch"
+if [[ -x "$batch_bin" ]]; then
+  echo "speccc_batch smoke (--jobs $batch_jobs) over examples/specs"
+  "$batch_bin" --jobs "$batch_jobs" --quiet "$repo_root/examples/specs"
+else
+  echo "note: $batch_bin not built (SPECCC_BUILD_TOOLS=OFF?); smoke skipped"
+fi

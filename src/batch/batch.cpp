@@ -1,0 +1,382 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "synth/symbolic_engine.hpp"
+#include "synth/synthesizer.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::batch {
+
+const char* status_name(TaskStatus status) {
+  switch (status) {
+    case TaskStatus::kConsistent: return "consistent";
+    case TaskStatus::kInconsistent: return "inconsistent";
+    case TaskStatus::kError: return "error";
+    case TaskStatus::kBudgetExhausted: return "budget-exhausted";
+    case TaskStatus::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* realizability_name(synth::Realizability r) {
+  switch (r) {
+    case synth::Realizability::kRealizable: return "realizable";
+    case synth::Realizability::kUnrealizable: return "unrealizable";
+    case synth::Realizability::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Per-task budget state read by the worker pipeline's cancelled functor.
+/// Lives in a shared_ptr because PipelineOptions copies the functor into
+/// the worker's long-lived Pipeline while the worker resets the state
+/// between tasks.
+struct BudgetState {
+  util::Stopwatch clock;
+  double budget_seconds = 0.0;
+  const std::atomic<bool>* cancel = nullptr;
+
+  [[nodiscard]] bool externally_cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool expired() const {
+    return (budget_seconds > 0.0 && clock.seconds() > budget_seconds) ||
+           externally_cancelled();
+  }
+};
+
+/// Work-stealing deques: round-robin dealt; the owner pops from the front
+/// (input order -- a one-worker batch is exactly the sequential loop) and
+/// thieves steal from the back, the tasks the owner would reach last.
+/// Tasks are all known upfront and never re-queued, so a worker may exit
+/// as soon as every deque is empty (in-flight tasks belong to their
+/// workers). A small per-deque mutex is deliberate: task granularity is a
+/// whole pipeline run (milliseconds to seconds), so queue contention is
+/// noise and a lock-free Chase-Lev deque would buy nothing but risk.
+class StealingQueues {
+ public:
+  StealingQueues(std::size_t workers, std::size_t tasks) : queues_(workers) {
+    for (std::size_t t = 0; t < tasks; ++t) {
+      queues_[t % workers].items.push_back(t);
+    }
+  }
+
+  /// Next task for `self`: own deque first, then steal. Returns false when
+  /// every deque is empty.
+  bool next(std::size_t self, std::size_t& out, std::size_t& steals) {
+    {
+      Queue& own = queues_[self];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.items.empty()) {
+        out = own.items.front();
+        own.items.pop_front();
+        return true;
+      }
+    }
+    for (std::size_t i = 1; i < queues_.size(); ++i) {
+      Queue& victim = queues_[(self + i) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.items.empty()) {
+        out = victim.items.back();
+        victim.items.pop_back();
+        ++steals;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::size_t> items;
+  };
+  std::vector<Queue> queues_;
+};
+
+/// Opposite-definite-verdict cross-check of one already-translated spec.
+AgreementStats check_substrates(const core::PipelineResult& pipeline_result,
+                                const synth::BoundedOptions& bounded_options) {
+  AgreementStats stats;
+  stats.checked = true;
+
+  const std::vector<ltl::Formula> formulas =
+      pipeline_result.translation.formulas();
+  synth::IoSignature signature;
+  signature.inputs.assign(pipeline_result.partition.inputs.begin(),
+                          pipeline_result.partition.inputs.end());
+  signature.outputs.assign(pipeline_result.partition.outputs.begin(),
+                           pipeline_result.partition.outputs.end());
+
+  if (const auto symbolic = synth::symbolic_synthesize(formulas, signature)) {
+    stats.symbolic = symbolic->verdict;
+  }
+  try {
+    const auto outcome = synth::bounded_synthesize(ltl::land(formulas),
+                                                   signature, bounded_options);
+    stats.bounded = outcome.verdict;
+  } catch (const util::SpecError&) {
+    // Signature beyond the explicit-alphabet cap (or similar): the bounded
+    // engine abstains, which never counts as disagreement.
+    stats.bounded = synth::Realizability::kUnknown;
+  }
+  return stats;
+}
+
+class Worker {
+ public:
+  Worker(std::size_t id, const BatchOptions& options)
+      : id_(id), options_(options), budget_(std::make_shared<BudgetState>()) {
+    budget_->budget_seconds = options.task_time_budget_seconds;
+    budget_->cancel = options.cancel;
+
+    core::PipelineOptions pipeline_options = options.pipeline;
+    const std::shared_ptr<BudgetState> budget = budget_;
+    pipeline_options.cancelled = [budget] { return budget->expired(); };
+    pipeline_ = std::make_unique<core::Pipeline>(std::move(pipeline_options));
+  }
+
+  TaskResult run(const SpecTask& task) {
+    TaskResult result;
+    result.name = task.name;
+    result.worker = static_cast<int>(id_);
+
+    if (budget_->externally_cancelled()) {
+      result.status = TaskStatus::kCancelled;
+      result.detail = "batch cancelled before the task started";
+      return result;
+    }
+
+    budget_->clock.reset();
+    util::Stopwatch task_clock;
+    try {
+      const core::PipelineResult pipeline_result =
+          pipeline_->run(task.name, task.requirements);
+      result.status = pipeline_result.consistent ? TaskStatus::kConsistent
+                                                 : TaskStatus::kInconsistent;
+      result.formulas = pipeline_result.num_formulas();
+      result.inputs = pipeline_result.num_inputs();
+      result.outputs = pipeline_result.num_outputs();
+      result.refined = pipeline_result.refinement.has_value() &&
+                       pipeline_result.refinement->consistent;
+      result.unsatisfiable_requirements =
+          pipeline_result.unsatisfiable_requirements;
+      result.translation_seconds = pipeline_result.translation_seconds;
+      result.synthesis_seconds = pipeline_result.synthesis_seconds;
+      result.refinement_seconds = pipeline_result.refinement_seconds;
+      if (options_.check_agreement) {
+        result.agreement =
+            check_substrates(pipeline_result, options_.agreement_bounded);
+      }
+    } catch (const util::CancelledError& e) {
+      result.status = budget_->externally_cancelled()
+                          ? TaskStatus::kCancelled
+                          : TaskStatus::kBudgetExhausted;
+      result.detail = e.what();
+    } catch (const std::exception& e) {
+      result.status = TaskStatus::kError;
+      result.detail = e.what();
+    }
+    result.seconds = task_clock.seconds();
+    return result;
+  }
+
+ private:
+  std::size_t id_;
+  const BatchOptions& options_;
+  std::shared_ptr<BudgetState> budget_;
+  std::unique_ptr<core::Pipeline> pipeline_;
+};
+
+}  // namespace
+
+double BatchReport::cpu_seconds() const {
+  double total = 0.0;
+  for (const TaskResult& r : results) total += r.seconds;
+  return total;
+}
+
+BatchReport check(const std::vector<SpecTask>& tasks,
+                  const BatchOptions& options) {
+  BatchReport report;
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = std::min(jobs,
+                  static_cast<int>(std::max<std::size_t>(tasks.size(), 1)));
+  report.jobs = jobs;
+  report.results.resize(tasks.size());
+  if (tasks.empty()) return report;
+
+  util::Stopwatch wall;
+  StealingQueues queues(static_cast<std::size_t>(jobs), tasks.size());
+  std::mutex report_mutex;  // guards results slots' publication + on_result
+  std::atomic<std::size_t> total_steals{0};
+
+  const auto worker_loop = [&](std::size_t worker_id) {
+    Worker worker(worker_id, options);
+    std::size_t index = 0;
+    std::size_t steals = 0;
+    while (queues.next(worker_id, index, steals)) {
+      TaskResult result = worker.run(tasks[index]);
+      std::lock_guard<std::mutex> lock(report_mutex);
+      report.results[index] = std::move(result);
+      if (options.on_result) options.on_result(report.results[index]);
+    }
+    total_steals.fetch_add(steals, std::memory_order_relaxed);
+  };
+
+  if (jobs == 1) {
+    worker_loop(0);  // inline: keeps jobs=1 usable under thread-less debuggers
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      threads.emplace_back(worker_loop, static_cast<std::size_t>(w));
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  report.wall_seconds = wall.seconds();
+  report.steals = total_steals.load();
+  for (const TaskResult& r : report.results) {
+    switch (r.status) {
+      case TaskStatus::kConsistent: ++report.consistent; break;
+      case TaskStatus::kInconsistent: ++report.inconsistent; break;
+      case TaskStatus::kError: ++report.errors; break;
+      case TaskStatus::kBudgetExhausted: ++report.budget_exhausted; break;
+      case TaskStatus::kCancelled: ++report.cancelled; break;
+    }
+    if (r.agreement.checked && !r.agreement.agree()) ++report.disagreements;
+  }
+  return report;
+}
+
+namespace {
+
+void canonical_result(std::ostream& os, const TaskResult& r) {
+  os << r.name << " status=" << status_name(r.status) << " formulas="
+     << r.formulas << " in=" << r.inputs << " out=" << r.outputs
+     << " refined=" << (r.refined ? 1 : 0);
+  if (!r.unsatisfiable_requirements.empty()) {
+    os << " unsat=";
+    for (std::size_t i = 0; i < r.unsatisfiable_requirements.size(); ++i) {
+      if (i > 0) os << ',';
+      os << r.unsatisfiable_requirements[i];
+    }
+  }
+  if (r.agreement.checked) {
+    os << " symbolic=" << realizability_name(r.agreement.symbolic)
+       << " bounded=" << realizability_name(r.agreement.bounded)
+       << " agree=" << (r.agreement.agree() ? 1 : 0);
+  }
+  if (r.status == TaskStatus::kError) os << " detail=" << r.detail;
+  os << '\n';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string canonical(const BatchReport& report) {
+  std::ostringstream os;
+  for (const TaskResult& r : report.results) canonical_result(os, r);
+  return os.str();
+}
+
+std::string to_json(const BatchReport& report) {
+  std::ostringstream os;
+  os << "{\n  \"jobs\": " << report.jobs
+     << ",\n  \"wall_seconds\": " << report.wall_seconds
+     << ",\n  \"cpu_seconds\": " << report.cpu_seconds()
+     << ",\n  \"steals\": " << report.steals
+     << ",\n  \"consistent\": " << report.consistent
+     << ",\n  \"inconsistent\": " << report.inconsistent
+     << ",\n  \"errors\": " << report.errors
+     << ",\n  \"budget_exhausted\": " << report.budget_exhausted
+     << ",\n  \"cancelled\": " << report.cancelled
+     << ",\n  \"disagreements\": " << report.disagreements
+     << ",\n  \"specs\": [\n";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const TaskResult& r = report.results[i];
+    os << "    {\"name\": \"" << json_escape(r.name) << "\", \"status\": \""
+       << status_name(r.status) << "\", \"formulas\": " << r.formulas
+       << ", \"inputs\": " << r.inputs << ", \"outputs\": " << r.outputs
+       << ", \"refined\": " << (r.refined ? "true" : "false")
+       << ", \"seconds\": " << r.seconds << ", \"worker\": " << r.worker;
+    if (r.agreement.checked) {
+      os << ", \"symbolic\": \"" << realizability_name(r.agreement.symbolic)
+         << "\", \"bounded\": \"" << realizability_name(r.agreement.bounded)
+         << "\", \"agree\": " << (r.agreement.agree() ? "true" : "false");
+    }
+    if (!r.detail.empty()) {
+      os << ", \"detail\": \"" << json_escape(r.detail) << "\"";
+    }
+    os << "}" << (i + 1 < report.results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void print_summary(std::ostream& os, const BatchReport& report) {
+  for (const TaskResult& r : report.results) {
+    os << "  " << r.name << ": " << status_name(r.status);
+    if (r.status == TaskStatus::kConsistent ||
+        r.status == TaskStatus::kInconsistent) {
+      os << " (" << r.formulas << " formulas, " << r.inputs << " in, "
+         << r.outputs << " out";
+      if (r.refined) os << ", refined";
+      os << ", " << r.seconds << "s)";
+    } else if (!r.detail.empty()) {
+      os << " (" << r.detail << ")";
+    }
+    if (r.agreement.checked && !r.agreement.agree()) {
+      os << "  SUBSTRATE DISAGREEMENT";
+    }
+    os << "\n";
+  }
+  os << report.results.size() << " specs with " << report.jobs << " jobs in "
+     << report.wall_seconds << "s wall (" << report.cpu_seconds()
+     << "s cpu, " << report.steals << " steals): " << report.consistent
+     << " consistent, " << report.inconsistent << " inconsistent, "
+     << report.errors << " errors, " << report.budget_exhausted
+     << " budget-exhausted, " << report.cancelled << " cancelled";
+  if (report.disagreements > 0) {
+    os << ", " << report.disagreements << " SUBSTRATE DISAGREEMENTS";
+  }
+  os << "\n";
+}
+
+}  // namespace speccc::batch

@@ -1,0 +1,158 @@
+// Parallel batch checking: many specifications through the Fig. 1 pipeline
+// concurrently (cf. Vuotto 2018 on continuously checked requirement sets).
+//
+// Threading rule: everything mutable is per worker. Each worker owns its
+// own core::Pipeline (hence its own lexicon/dictionary copies and, inside
+// every synthesis call, its own bdd::Manager -- the manager is
+// single-threaded by design) and its own diagnostics sink (failures are
+// captured into the task's result, never a shared stream). The only shared
+// mutable state the workers touch is the formula intern arena, which is
+// mutex-protected, and the scheduler's own deques.
+//
+// Scheduling is work-stealing: tasks are dealt round-robin across
+// per-worker deques; a worker pops its own deque in input order and, when
+// empty, steals from the back of a victim's deque, so long specifications
+// (e.g. Table I's rows 2.2.2 / 3.2) do not serialize the tail of a batch
+// and a one-worker batch degenerates to exactly the sequential loop.
+//
+// Determinism contract: the report lists results in input order, and every
+// non-timing field of every result is a pure function of the task -- the
+// same batch yields byte-identical canonical() output for any worker
+// count. Timings, worker ids, and steal counts are diagnostics and are
+// excluded from the canonical form.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "synth/bounded.hpp"
+#include "translate/translator.hpp"
+
+namespace speccc::batch {
+
+/// One unit of work: a named specification, checked by a whole-spec
+/// pipeline run.
+struct SpecTask {
+  std::string name;
+  std::vector<translate::RequirementText> requirements;
+};
+
+enum class TaskStatus {
+  kConsistent,        // realizable (possibly after refinement)
+  kInconsistent,      // definitively unrealizable
+  kError,             // the pipeline threw (parse error, internal error, ...)
+  kBudgetExhausted,   // the per-task time budget ran out at a stage boundary
+  kCancelled,         // the batch-wide cancel flag was raised
+};
+
+[[nodiscard]] const char* status_name(TaskStatus status);
+
+/// Substrate cross-check (optional): the same spec re-decided by each
+/// synthesis engine separately. Mirrors the difftest oracle's agreement
+/// property: opposite *definite* verdicts are a disagreement, kUnknown
+/// never is.
+struct AgreementStats {
+  bool checked = false;
+  synth::Realizability symbolic = synth::Realizability::kUnknown;
+  synth::Realizability bounded = synth::Realizability::kUnknown;
+
+  [[nodiscard]] bool agree() const {
+    using R = synth::Realizability;
+    const bool opposite =
+        (symbolic == R::kRealizable && bounded == R::kUnrealizable) ||
+        (symbolic == R::kUnrealizable && bounded == R::kRealizable);
+    return !checked || !opposite;
+  }
+};
+
+struct TaskResult {
+  std::string name;
+  TaskStatus status = TaskStatus::kError;
+  std::string detail;  // error message / cancellation reason
+  std::size_t formulas = 0;
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  bool refined = false;  // consistency restored by partition adjustment
+  std::vector<std::string> unsatisfiable_requirements;
+  AgreementStats agreement;
+  // Diagnostics (excluded from the canonical form):
+  double seconds = 0.0;  // whole-task wall clock on its worker
+  double translation_seconds = 0.0;
+  double synthesis_seconds = 0.0;
+  double refinement_seconds = 0.0;
+  int worker = -1;  // which worker ran it
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Per-worker pipeline configuration. PipelineOptions::cancelled is
+  /// overwritten by the scheduler (it carries the budget/cancel polling).
+  core::PipelineOptions pipeline;
+  /// Per-task wall-clock budget in seconds; 0 means unlimited. Polled at
+  /// pipeline stage boundaries (cooperative -- a stage in flight finishes).
+  /// Bound the stages themselves with pipeline.synthesis.bounded caps.
+  double task_time_budget_seconds = 0.0;
+  /// Batch-wide cancellation: raise to drain the queue. Running tasks stop
+  /// at their next stage boundary; queued tasks are marked kCancelled
+  /// without running.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Re-decide every spec with both synthesis engines and record
+  /// agreement (roughly doubles the cost; the bounded engine gives up as
+  /// kUnknown beyond its caps, which never counts as disagreement).
+  bool check_agreement = false;
+  /// Caps for the agreement pass's bounded run. Defaults mirror the
+  /// difftest oracle's give-up caps -- the pipeline's own unbounded
+  /// defaults would let one adversarial spec stall the whole batch.
+  synth::BoundedOptions agreement_bounded = {.max_k = 4,
+                                             .extract = false,
+                                             .max_game_positions = 20'000,
+                                             .max_ucw_states = 150};
+  /// Completion callback, invoked under the scheduler lock in completion
+  /// order (not input order). Keep it cheap; it may run on any worker.
+  std::function<void(const TaskResult&)> on_result;
+};
+
+struct BatchReport {
+  std::vector<TaskResult> results;  // input order, always same size as tasks
+  int jobs = 1;
+  double wall_seconds = 0.0;  // whole-batch wall clock
+  std::size_t steals = 0;     // scheduler diagnostics
+  std::size_t consistent = 0;
+  std::size_t inconsistent = 0;
+  std::size_t errors = 0;
+  std::size_t budget_exhausted = 0;
+  std::size_t cancelled = 0;
+  std::size_t disagreements = 0;  // only when check_agreement
+
+  [[nodiscard]] bool all_consistent() const {
+    return consistent == results.size();
+  }
+  /// Aggregate CPU seconds across tasks (compare against wall_seconds for
+  /// the effective speedup).
+  [[nodiscard]] double cpu_seconds() const;
+};
+
+/// Check every task. Deterministic in everything but timings/worker ids;
+/// never throws for per-task failures (they become kError results).
+[[nodiscard]] BatchReport check(const std::vector<SpecTask>& tasks,
+                                const BatchOptions& options = {});
+
+/// The determinism contract in printable form: name, status, scale,
+/// refinement, unsatisfiable requirements, and agreement verdicts of every
+/// result in input order -- no timings, worker ids, or steal counts. Equal
+/// strings for any jobs count, including jobs=1.
+[[nodiscard]] std::string canonical(const BatchReport& report);
+
+/// Machine-readable report (timings included) for CI artifacts.
+[[nodiscard]] std::string to_json(const BatchReport& report);
+
+/// Human-readable per-spec table plus totals.
+void print_summary(std::ostream& os, const BatchReport& report);
+
+}  // namespace speccc::batch

@@ -1,0 +1,45 @@
+#include "batch/corpus_tasks.hpp"
+
+#include "corpus/cara.hpp"
+#include "corpus/robot.hpp"
+#include "corpus/telepromise.hpp"
+
+namespace speccc::batch {
+
+std::vector<SpecTask> cara_tasks() {
+  std::vector<SpecTask> tasks;
+  tasks.push_back({"CARA/0 Working mode and switching",
+                   corpus::cara_working_mode_texts()});
+  for (const corpus::ComponentSpec& component :
+       corpus::cara_component_specs()) {
+    tasks.push_back(
+        {"CARA/" + component.number + " " + component.name,
+         component.requirements});
+  }
+  return tasks;
+}
+
+std::vector<SpecTask> telepromise_tasks() {
+  std::vector<SpecTask> tasks;
+  for (const corpus::TeleSpec& spec : corpus::telepromise_specs()) {
+    tasks.push_back({"TELE " + spec.name, spec.requirements});
+  }
+  return tasks;
+}
+
+std::vector<SpecTask> robot_tasks() {
+  std::vector<SpecTask> tasks;
+  for (const corpus::RobotSpec& spec : corpus::robot_specs()) {
+    tasks.push_back({"Robot " + spec.name, spec.requirements});
+  }
+  return tasks;
+}
+
+std::vector<SpecTask> table1_tasks() {
+  std::vector<SpecTask> tasks = cara_tasks();
+  for (SpecTask& t : telepromise_tasks()) tasks.push_back(std::move(t));
+  for (SpecTask& t : robot_tasks()) tasks.push_back(std::move(t));
+  return tasks;
+}
+
+}  // namespace speccc::batch

@@ -1,0 +1,25 @@
+// The three Table I corpora (paper Section VI) packaged as batch tasks, so
+// the parallel checker reproduces the paper's evaluation with one call.
+// Lives in batch/ (not corpus/) to keep the dependency arrow pointing from
+// the scheduler to the corpora.
+#pragma once
+
+#include <vector>
+
+#include "batch/batch.hpp"
+
+namespace speccc::batch {
+
+/// CARA infusion pump: working mode (row 0) + the 13 component rows.
+[[nodiscard]] std::vector<SpecTask> cara_tasks();
+
+/// The five TELEPROMISE application specifications.
+[[nodiscard]] std::vector<SpecTask> telepromise_tasks();
+
+/// The three rescue-robot scenarios.
+[[nodiscard]] std::vector<SpecTask> robot_tasks();
+
+/// All 22 Table I rows, CARA then TELE then Robot (the paper's order).
+[[nodiscard]] std::vector<SpecTask> table1_tasks();
+
+}  // namespace speccc::batch

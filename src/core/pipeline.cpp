@@ -21,10 +21,18 @@ PipelineResult Pipeline::run(
   PipelineResult result;
   result.name = name;
 
+  const auto poll_cancel = [&](const char* stage) {
+    if (options_.cancelled && options_.cancelled()) {
+      throw util::CancelledError("pipeline run '" + name +
+                                 "' cancelled before " + stage);
+    }
+  };
+
   const translate::Translator translator(lexicon_, dictionary_,
                                          options_.translation);
 
   // ---- Stage 1: translation ---------------------------------------------------
+  poll_cancel("translation");
   util::Stopwatch stage1;
   result.translation = translator.translate(requirements);
 
@@ -68,6 +76,7 @@ PipelineResult Pipeline::run(
   result.translation_seconds = stage1.seconds();
 
   // ---- Stage 2: realizability -------------------------------------------------
+  poll_cancel("synthesis");
   synth::IoSignature signature;
   signature.inputs.assign(result.partition.inputs.begin(),
                           result.partition.inputs.end());
@@ -82,6 +91,7 @@ PipelineResult Pipeline::run(
 
   // ---- Stage 3: refinement loop -------------------------------------------------
   if (!result.consistent && options_.refine_on_failure) {
+    poll_cancel("refinement");
     util::Stopwatch stage3;
     result.refinement =
         refine::refine(formulas, result.partition, options_.synthesis);

@@ -8,6 +8,7 @@
 //            partition adjustment), feeding back into stage 2.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,12 @@ struct PipelineOptions {
   /// file-based extension).
   std::optional<nlp::Lexicon> lexicon;
   std::optional<semantics::AntonymDictionary> dictionary;
+  /// Cooperative cancellation: polled at stage boundaries (before
+  /// translation, synthesis, and refinement). When it returns true the run
+  /// throws util::CancelledError. A stage already in flight runs to
+  /// completion -- use the synthesis caps (BoundedOptions) to bound the
+  /// stages themselves. Null means never cancelled.
+  std::function<bool()> cancelled;
 };
 
 struct PipelineResult {

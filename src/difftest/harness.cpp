@@ -23,6 +23,18 @@ std::uint64_t case_seed(std::uint64_t master_seed, CaseKind kind, int index) {
              kind_salt);
 }
 
+GeneratedSpec generated_spec(std::uint64_t master_seed, int index,
+                             const SpecConfig& config) {
+  const std::uint64_t cs = case_seed(master_seed, CaseKind::kSpec, index);
+  util::Rng generation(cs);
+  const corpus::SpecScale scale = random_scale(
+      generation, config, "fuzz" + std::to_string(index), mix(cs + 1));
+  const corpus::Theme theme = generation.chance(1, 2)
+                                  ? corpus::device_theme()
+                                  : corpus::application_theme();
+  return {scale.name, corpus::generate_spec(scale, theme)};
+}
+
 namespace {
 
 void narrate(const RunOptions& options, const std::string& line) {
@@ -98,14 +110,8 @@ void run_formula_case(const RunOptions& options, int index, RunReport& report) {
 
 void run_spec_case(const RunOptions& options, int index, RunReport& report) {
   const std::uint64_t cs = case_seed(options.seed, CaseKind::kSpec, index);
-  util::Rng generation(cs);
-  const corpus::SpecScale scale =
-      random_scale(generation, options.spec,
-                   "fuzz" + std::to_string(index), mix(cs + 1));
-  const corpus::Theme theme = generation.chance(1, 2)
-                                  ? corpus::device_theme()
-                                  : corpus::application_theme();
-  const SpecCase spec = build_spec_case(corpus::generate_spec(scale, theme));
+  const SpecCase spec = build_spec_case(
+      generated_spec(options.seed, index, options.spec).requirements);
 
   const std::uint64_t oracle_seed = mix(cs);
   const auto oracle_message = [&](const std::vector<ltl::Formula>& requirements)

@@ -65,6 +65,18 @@ struct RunReport {
 [[nodiscard]] std::uint64_t case_seed(std::uint64_t master_seed, CaseKind kind,
                                       int index);
 
+/// The generated requirement texts of spec case `index` under
+/// `master_seed` -- the single home of the scale/theme derivation, shared
+/// by run(), speccc_batch --generate, and batch_test, so "batch task k ==
+/// fuzz spec case k" stays true by construction.
+struct GeneratedSpec {
+  std::string name;  // "fuzz<index>"
+  std::vector<translate::RequirementText> requirements;
+};
+[[nodiscard]] GeneratedSpec generated_spec(std::uint64_t master_seed,
+                                           int index,
+                                           const SpecConfig& config = {});
+
 /// Run the harness: formula cases first, then spec cases.
 [[nodiscard]] RunReport run(const RunOptions& options);
 

@@ -32,6 +32,14 @@ class InvalidInputError : public SpecError {
   explicit InvalidInputError(const std::string& what) : SpecError(what) {}
 };
 
+/// A pipeline run abandoned cooperatively: an external cancellation
+/// request or an exhausted per-task budget (see core::PipelineOptions::
+/// cancelled and batch::BatchOptions). Not a failure of the specification.
+class CancelledError : public SpecError {
+ public:
+  explicit CancelledError(const std::string& what) : SpecError(what) {}
+};
+
 /// Violated internal invariant: indicates a bug in SpecCC itself.
 class InternalError : public std::logic_error {
  public:

@@ -1,0 +1,183 @@
+// Tests for the parallel batch-checking subsystem: the determinism
+// contract (N-thread verdicts byte-identical to sequential over all three
+// Table I corpora and a fixed difftest seed), budget exhaustion,
+// cancellation, error isolation, and the substrate-agreement pass.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "batch/corpus_tasks.hpp"
+#include "core/pipeline.hpp"
+#include "corpus/generator.hpp"
+#include "difftest/harness.hpp"
+#include "difftest/random.hpp"
+#include "util/diagnostics.hpp"
+
+namespace batch = speccc::batch;
+namespace difftest = speccc::difftest;
+
+namespace {
+
+/// The difftest spec generator with speccc_fuzz's seed derivation
+/// (difftest::generated_spec): batch task k == fuzz spec case k of --seed S.
+std::vector<batch::SpecTask> generated_tasks(std::uint64_t master_seed,
+                                             int count) {
+  std::vector<batch::SpecTask> tasks;
+  for (int index = 0; index < count; ++index) {
+    auto spec = difftest::generated_spec(master_seed, index);
+    tasks.push_back({std::move(spec.name), std::move(spec.requirements)});
+  }
+  return tasks;
+}
+
+batch::BatchReport run_with_jobs(const std::vector<batch::SpecTask>& tasks,
+                                 int jobs) {
+  batch::BatchOptions options;
+  options.jobs = jobs;
+  return batch::check(tasks, options);
+}
+
+}  // namespace
+
+// The acceptance contract: verdicts under N workers are byte-identical to
+// the sequential run for N in {1, 4, 8}, over all three Table I corpora.
+TEST(BatchDeterminism, ParallelMatchesSequentialOverAllThreeCorpora) {
+  const std::vector<batch::SpecTask> tasks = batch::table1_tasks();
+  ASSERT_EQ(tasks.size(), 22u);  // 14 CARA + 5 TELE + 3 Robot
+
+  const std::string sequential = batch::canonical(run_with_jobs(tasks, 1));
+  EXPECT_FALSE(sequential.empty());
+  for (const int jobs : {4, 8}) {
+    EXPECT_EQ(batch::canonical(run_with_jobs(tasks, jobs)), sequential)
+        << "jobs=" << jobs;
+  }
+}
+
+// The batch verdicts are the pipeline's verdicts: cross-check the report
+// against direct sequential Pipeline::run calls.
+TEST(BatchDeterminism, VerdictsMatchDirectPipelineRuns) {
+  const std::vector<batch::SpecTask> tasks = batch::robot_tasks();
+  const batch::BatchReport report = run_with_jobs(tasks, 4);
+  ASSERT_EQ(report.results.size(), tasks.size());
+
+  const speccc::core::Pipeline pipeline;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto direct = pipeline.run(tasks[i].name, tasks[i].requirements);
+    EXPECT_EQ(report.results[i].name, tasks[i].name);
+    EXPECT_EQ(report.results[i].status == batch::TaskStatus::kConsistent,
+              direct.consistent)
+        << tasks[i].name;
+    EXPECT_EQ(report.results[i].formulas, direct.num_formulas());
+    EXPECT_EQ(report.results[i].inputs, direct.num_inputs());
+    EXPECT_EQ(report.results[i].outputs, direct.num_outputs());
+  }
+}
+
+TEST(BatchDeterminism, FixedDifftestSeedMatchesSequential) {
+  const std::vector<batch::SpecTask> tasks = generated_tasks(7, 10);
+  const std::string sequential = batch::canonical(run_with_jobs(tasks, 1));
+  EXPECT_EQ(batch::canonical(run_with_jobs(tasks, 4)), sequential);
+}
+
+TEST(BatchScheduler, ResultsKeepInputOrderAndWorkerIdsAreInRange) {
+  const std::vector<batch::SpecTask> tasks = batch::telepromise_tasks();
+  const batch::BatchReport report = run_with_jobs(tasks, 3);
+  ASSERT_EQ(report.results.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(report.results[i].name, tasks[i].name);
+    EXPECT_GE(report.results[i].worker, 0);
+    EXPECT_LT(report.results[i].worker, report.jobs);
+  }
+  EXPECT_EQ(report.consistent + report.inconsistent + report.errors +
+                report.budget_exhausted + report.cancelled,
+            tasks.size());
+}
+
+TEST(BatchScheduler, BudgetExhaustionIsReportedPerTask) {
+  batch::BatchOptions options;
+  options.jobs = 2;
+  options.task_time_budget_seconds = 1e-9;  // expires at the first poll
+  const batch::BatchReport report =
+      batch::check(batch::robot_tasks(), options);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.budget_exhausted, 3u);
+  for (const batch::TaskResult& r : report.results) {
+    EXPECT_EQ(r.status, batch::TaskStatus::kBudgetExhausted);
+    EXPECT_NE(r.detail.find("cancelled before"), std::string::npos);
+  }
+}
+
+TEST(BatchScheduler, PreRaisedCancelFlagDrainsTheQueue) {
+  std::atomic<bool> cancel{true};
+  batch::BatchOptions options;
+  options.jobs = 4;
+  options.cancel = &cancel;
+  const batch::BatchReport report =
+      batch::check(batch::table1_tasks(), options);
+  EXPECT_EQ(report.cancelled, report.results.size());
+  for (const batch::TaskResult& r : report.results) {
+    EXPECT_EQ(r.status, batch::TaskStatus::kCancelled);
+  }
+}
+
+TEST(BatchScheduler, MidBatchCancellationStopsRemainingTasks) {
+  std::atomic<bool> cancel{false};
+  batch::BatchOptions options;
+  options.jobs = 1;  // deterministic completion order
+  options.cancel = &cancel;
+  options.on_result = [&](const batch::TaskResult&) { cancel = true; };
+  const batch::BatchReport report =
+      batch::check(batch::robot_tasks(), options);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.results[0].status, batch::TaskStatus::kConsistent);
+  EXPECT_EQ(report.results[1].status, batch::TaskStatus::kCancelled);
+  EXPECT_EQ(report.results[2].status, batch::TaskStatus::kCancelled);
+  EXPECT_EQ(report.cancelled, 2u);
+}
+
+TEST(BatchScheduler, TaskErrorsAreIsolated) {
+  std::vector<batch::SpecTask> tasks = batch::robot_tasks();
+  tasks.insert(tasks.begin() + 1,
+               {"broken", {{"B1", "colorless green ideas sleep furiously"}}});
+  const batch::BatchReport report = run_with_jobs(tasks, 2);
+  ASSERT_EQ(report.results.size(), 4u);
+  EXPECT_EQ(report.results[1].status, batch::TaskStatus::kError);
+  EXPECT_FALSE(report.results[1].detail.empty());
+  EXPECT_EQ(report.errors, 1u);
+  EXPECT_EQ(report.consistent, 3u);  // the robot rows still checked
+}
+
+TEST(BatchScheduler, EmptyBatchIsTrivial) {
+  const batch::BatchReport report = batch::check({}, {});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_TRUE(report.all_consistent());
+  EXPECT_EQ(report.steals, 0u);
+}
+
+TEST(BatchAgreement, SubstratesAgreeOnTheRobotCorpus) {
+  batch::BatchOptions options;
+  options.jobs = 2;
+  options.check_agreement = true;
+  const batch::BatchReport report =
+      batch::check(batch::robot_tasks(), options);
+  EXPECT_EQ(report.disagreements, 0u);
+  for (const batch::TaskResult& r : report.results) {
+    ASSERT_TRUE(r.agreement.checked);
+    EXPECT_TRUE(r.agreement.agree()) << r.name;
+    // The symbolic engine decides every robot row definitively.
+    EXPECT_EQ(r.agreement.symbolic, speccc::synth::Realizability::kRealizable)
+        << r.name;
+  }
+}
+
+TEST(BatchReporting, JsonContainsEverySpecAndTheJobCount) {
+  const batch::BatchReport report = run_with_jobs(batch::robot_tasks(), 2);
+  const std::string json = batch::to_json(report);
+  EXPECT_NE(json.find("\"jobs\": 2"), std::string::npos);
+  for (const batch::TaskResult& r : report.results) {
+    EXPECT_NE(json.find(r.name), std::string::npos);
+  }
+}
