@@ -1,0 +1,131 @@
+// Cross-spec memoization benchmarks: the cache/store.hpp workloads the
+// serving story cares about, cached vs. uncached.
+//
+//   * BM_RepeatedTable1: the same Table I batch checked over and over
+//     against one persistent store (the steady-state serving shape --
+//     every sentence, formula, and verdict is warm). The acceptance bar
+//     for the cache layer is >= 2x items/second over the uncached row.
+//   * BM_RevisedSpec: a requirements document under revision -- each
+//     iteration checks a batch where every spec differs from the previous
+//     round in one sentence, so level 1 reuses most parses and level 2
+//     re-decides only what changed.
+//   * BM_DigestTable1: the key-derivation overhead alone (canonical
+//     formula digests over all Table I specs), to keep the bookkeeping
+//     honest.
+//
+// Arg(0) = uncached baseline, Arg(1) = cached. The uncached rows are the
+// same code path with PipelineOptions::cache unset.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "batch/corpus_tasks.hpp"
+#include "cache/store.hpp"
+#include "core/pipeline.hpp"
+#include "ltl/formula.hpp"
+
+namespace {
+
+using speccc::batch::BatchOptions;
+using speccc::batch::BatchReport;
+using speccc::batch::SpecTask;
+
+/// The repeated-spec serving workload: identical batch every iteration,
+/// one store for the whole benchmark run. The first (warm-up) batch pays
+/// the misses outside the timed loop.
+void BM_RepeatedTable1(benchmark::State& state) {
+  const std::vector<SpecTask> tasks = speccc::batch::table1_tasks();
+  BatchOptions options;
+  options.jobs = 1;  // per-spec cost, not scheduler scaling (bench_batch has that)
+  if (state.range(0) != 0) {
+    options.pipeline.cache = std::make_shared<speccc::cache::Store>();
+    benchmark::DoNotOptimize(speccc::batch::check(tasks, options));  // warm
+  }
+  std::size_t checked = 0;
+  for (auto _ : state) {
+    const BatchReport report = speccc::batch::check(tasks, options);
+    benchmark::DoNotOptimize(report.consistent);
+    checked += report.results.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+}
+BENCHMARK(BM_RepeatedTable1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Build revision r of the door-lock-style base spec: 8 requirements, one
+/// of which (rotating by revision) mentions a revision-specific sensor, so
+/// consecutive revisions share 7 of 8 sentences.
+std::vector<SpecTask> revision_tasks(int revision) {
+  static const char* kBase[] = {
+      "If the door button is pressed, the lock signal is updated.",
+      "When the door sensor is detected, eventually the alarm is raised.",
+      "If the battery status is measured, the monitor light is activated in 10 seconds.",
+      "If the supply detector is detected, the status light is activated.",
+      "If the room sensor is detected, the search signal is issued.",
+      "When the person detector is detected, eventually the rescue alarm is triggered.",
+      "If the medic button is pressed, the delivery status is confirmed.",
+      "If the order button is pressed, the confirmation message is displayed.",
+  };
+  constexpr int kRequirements = 8;
+  std::vector<speccc::translate::RequirementText> requirements;
+  for (int i = 0; i < kRequirements; ++i) {
+    std::string text = kBase[i];
+    if (i == revision % kRequirements) {
+      text = "If the zone " + std::to_string(revision) +
+             " sensor is detected, the backup signal is issued.";
+    }
+    requirements.push_back({"R" + std::to_string(i + 1), std::move(text)});
+  }
+  return {{"rev" + std::to_string(revision), std::move(requirements)}};
+}
+
+/// The revision workload: each timed iteration checks the next revision,
+/// so the store is warm for everything except the edited sentence.
+void BM_RevisedSpec(benchmark::State& state) {
+  constexpr int kRounds = 16;
+  std::vector<std::vector<SpecTask>> rounds;
+  for (int r = 0; r < kRounds; ++r) rounds.push_back(revision_tasks(r));
+
+  BatchOptions options;
+  options.jobs = 1;
+  if (state.range(0) != 0) {
+    options.pipeline.cache = std::make_shared<speccc::cache::Store>();
+    benchmark::DoNotOptimize(speccc::batch::check(rounds[0], options));  // warm
+  }
+  std::size_t checked = 0;
+  int round = 0;
+  for (auto _ : state) {
+    const BatchReport report =
+        speccc::batch::check(rounds[round++ % kRounds], options);
+    benchmark::DoNotOptimize(report.consistent);
+    checked += report.results.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+}
+BENCHMARK(BM_RevisedSpec)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Key-derivation overhead: canonical digests of every Table I requirement
+/// formula (the per-lookup cost a hit must amortize).
+void BM_DigestTable1(benchmark::State& state) {
+  const std::vector<SpecTask> tasks = speccc::batch::table1_tasks();
+  std::vector<speccc::ltl::Formula> formulas;
+  const speccc::core::Pipeline pipeline;
+  for (const SpecTask& task : tasks) {
+    const auto result = pipeline.run(task.name, task.requirements);
+    for (const auto& f : result.translation.formulas()) formulas.push_back(f);
+  }
+  for (auto _ : state) {
+    for (speccc::ltl::Formula f : formulas) {
+      benchmark::DoNotOptimize(speccc::ltl::canonical_digest(f));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(formulas.size())));
+}
+BENCHMARK(BM_DigestTable1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -12,8 +12,14 @@ compares every benchmark's real_time against the committed baseline by
 name. Regressions beyond --threshold percent produce warnings (GitHub
 ``::warning::`` annotations when running under Actions) but exit 0 --
 benchmark noise on shared runners must not gate merges. Pass --strict to
-exit 1 on regressions instead. Baseline entries missing from the run (or
-vice versa) are reported, never fatal.
+exit 1 on regressions instead.
+
+A baseline benchmark missing from the run is FATAL (exit 1) regardless of
+--strict: a bench target that silently stops running (dropped from the CI
+subset, renamed, or skipped by a configure failure) would otherwise let
+its regressions go unnoticed forever. New benchmarks without a baseline
+entry are reported but never fatal (add them to the baseline when they
+stabilize).
 
 Only the Python standard library is used.
 """
@@ -110,8 +116,15 @@ def main() -> int:
             warn(f"{name}: {delta:+.1f}% vs baseline "
                  f"({base / 1e6:.3f} ms -> {new / 1e6:.3f} ms)")
         print(f"  {name}: {delta:+.1f}%{marker}")
-    for name in sorted(set(base_times) - set(new_times)):
-        print(f"  baseline benchmark missing from this run: {name}")
+    missing = sorted(set(base_times) - set(new_times))
+    for name in missing:
+        warn(f"baseline benchmark missing from this run: {name}")
+    if missing:
+        print(f"error: {len(missing)} baseline benchmark(s) did not run; "
+              "a silently-skipped bench target cannot be allowed to regress "
+              "unnoticed (remove stale baseline entries deliberately)",
+              file=sys.stderr)
+        return 1
 
     if regressions:
         print(f"{regressions} benchmark(s) regressed more than "

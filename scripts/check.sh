@@ -56,6 +56,14 @@ batch_bin="$build_dir/tools/speccc_batch"
 if [[ -x "$batch_bin" ]]; then
   echo "speccc_batch smoke (--jobs $batch_jobs) over examples/specs"
   "$batch_bin" --jobs "$batch_jobs" --quiet "$repo_root/examples/specs"
+  # Cache smoke: the canonical report must be byte-identical with the
+  # memoization store on vs off (cache/store.hpp's determinism contract).
+  echo "speccc_batch cache smoke (canonical diff, cache on vs off)"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-plain.txt"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --cache \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-cache.txt"
+  diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-cache.txt"
 else
   echo "note: $batch_bin not built (SPECCC_BUILD_TOOLS=OFF?); smoke skipped"
 fi

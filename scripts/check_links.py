@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in README.md and docs/*.md
+resolves to a real file (and, for in-file anchors, a real heading).
+
+Used by the CI docs job; run locally with:
+
+    python3 scripts/check_links.py
+
+Rules:
+  * inline links and images ``[text](target)`` are checked;
+  * http(s)/mailto targets are skipped (no network in CI);
+  * targets resolving outside the repository (e.g. the CI badge's
+    ``../../actions/...`` GitHub-web path) are skipped;
+  * ``#anchor``-only targets must match a heading of the same file,
+    using GitHub's slug rules (lowercase, punctuation stripped, spaces
+    to hyphens);
+  * ``file#anchor`` targets must point at an existing file; the anchor
+    is checked when the file is markdown.
+
+Exit code 0 when every link resolves, 1 otherwise. Only the Python
+standard library is used.
+"""
+from __future__ import annotations
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target), where text may contain one level of nested brackets —
+# enough for badge-style image links ([![alt](img)](target)) and
+# footnote-ish text ([see [1]](file.md)).
+_LINK = re.compile(
+    r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->hyphens."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)          # inline code
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links
+    heading = heading.strip().lower()
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def markdown_files() -> list[str]:
+    files = sorted(glob.glob(os.path.join(REPO_ROOT, "*.md")))
+    files += sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    return files
+
+
+def links_of(path: str) -> list[tuple[int, str]]:
+    """(line number, target) pairs, skipping fenced code blocks."""
+    found: list[tuple[int, str]] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if _CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                found.append((number, match.group(1)))
+    return found
+
+
+def anchors_of(path: str) -> set[str]:
+    anchors: set[str] = set()
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if _CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = _HEADING.match(line)
+            if match:
+                anchors.add(slugify(match.group(1)))
+    return anchors
+
+
+def main() -> int:
+    broken: list[str] = []
+    checked = 0
+    for md in markdown_files():
+        rel_md = os.path.relpath(md, REPO_ROOT)
+        for line, target in links_of(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            where = f"{rel_md}:{line}"
+
+            if target.startswith("#"):
+                if target[1:] not in anchors_of(md):
+                    broken.append(f"{where}: no heading for anchor {target}")
+                continue
+
+            file_part, _, anchor = target.partition("#")
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(md), file_part))
+            if not resolved.startswith(REPO_ROOT + os.sep):
+                continue  # GitHub-web path (e.g. the CI badge); not a file
+            if not os.path.exists(resolved):
+                broken.append(f"{where}: missing file {file_part}")
+                continue
+            if anchor and resolved.endswith(".md"):
+                # GitHub anchors are literal case-sensitive slugs: the href
+                # must equal the heading's slug exactly, so compare raw
+                # (same rule as the same-file branch above).
+                if anchor not in anchors_of(resolved):
+                    broken.append(
+                        f"{where}: no heading for anchor #{anchor} "
+                        f"in {file_part}")
+
+    for message in broken:
+        print(f"BROKEN {message}", file=sys.stderr)
+    print(f"{checked} relative link(s) checked, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

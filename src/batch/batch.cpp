@@ -218,7 +218,12 @@ BatchReport check(const std::vector<SpecTask>& tasks,
                   static_cast<int>(std::max<std::size_t>(tasks.size(), 1)));
   report.jobs = jobs;
   report.results.resize(tasks.size());
+  report.cache_enabled = options.pipeline.cache != nullptr;
   if (tasks.empty()) return report;
+
+  const cache::StatsSnapshot stats_before =
+      report.cache_enabled ? options.pipeline.cache->stats()
+                           : cache::StatsSnapshot{};
 
   util::Stopwatch wall;
   StealingQueues queues(static_cast<std::size_t>(jobs), tasks.size());
@@ -251,6 +256,9 @@ BatchReport check(const std::vector<SpecTask>& tasks,
 
   report.wall_seconds = wall.seconds();
   report.steals = total_steals.load();
+  if (report.cache_enabled) {
+    report.cache_stats = options.pipeline.cache->stats().since(stats_before);
+  }
   for (const TaskResult& r : report.results) {
     switch (r.status) {
       case TaskStatus::kConsistent: ++report.consistent; break;
@@ -327,8 +335,15 @@ std::string to_json(const BatchReport& report) {
      << ",\n  \"errors\": " << report.errors
      << ",\n  \"budget_exhausted\": " << report.budget_exhausted
      << ",\n  \"cancelled\": " << report.cancelled
-     << ",\n  \"disagreements\": " << report.disagreements
-     << ",\n  \"specs\": [\n";
+     << ",\n  \"disagreements\": " << report.disagreements;
+  if (report.cache_enabled) {
+    const cache::StatsSnapshot& c = report.cache_stats;
+    os << ",\n  \"cache\": {\"l1_hits\": " << c.l1_hits
+       << ", \"l1_misses\": " << c.l1_misses << ", \"l2_hits\": " << c.l2_hits
+       << ", \"l2_misses\": " << c.l2_misses
+       << ", \"evictions\": " << c.evictions << "}";
+  }
+  os << ",\n  \"specs\": [\n";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const TaskResult& r = report.results[i];
     os << "    {\"name\": \"" << json_escape(r.name) << "\", \"status\": \""
@@ -377,6 +392,7 @@ void print_summary(std::ostream& os, const BatchReport& report) {
     os << ", " << report.disagreements << " SUBSTRATE DISAGREEMENTS";
   }
   os << "\n";
+  if (report.cache_enabled) cache::print_stats(os, report.cache_stats);
 }
 
 }  // namespace speccc::batch

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "core/pipeline.hpp"
 #include "synth/bounded.hpp"
 #include "translate/translator.hpp"
@@ -93,6 +94,11 @@ struct BatchOptions {
   int jobs = 0;
   /// Per-worker pipeline configuration. PipelineOptions::cancelled is
   /// overwritten by the scheduler (it carries the budget/cancel polling).
+  /// PipelineOptions::cache, when set, is shared by every worker (the
+  /// store is sharded and thread-safe -- the sanctioned exception to the
+  /// per-worker-isolation rule); persist one store across batches for
+  /// cross-batch reuse. Repeated and revised specifications then skip
+  /// re-parsing unchanged sentences and re-deciding unchanged formulas.
   core::PipelineOptions pipeline;
   /// Per-task wall-clock budget in seconds; 0 means unlimited. Polled at
   /// pipeline stage boundaries (cooperative -- a stage in flight finishes).
@@ -104,7 +110,10 @@ struct BatchOptions {
   const std::atomic<bool>* cancel = nullptr;
   /// Re-decide every spec with both synthesis engines and record
   /// agreement (roughly doubles the cost; the bounded engine gives up as
-  /// kUnknown beyond its caps, which never counts as disagreement).
+  /// kUnknown beyond its caps, which never counts as disagreement). The
+  /// agreement pass always runs the engines directly -- it is never
+  /// answered from pipeline.cache, so a cached batch still cross-checks
+  /// for real.
   bool check_agreement = false;
   /// Caps for the agreement pass's bounded run. Defaults mirror the
   /// difftest oracle's give-up caps -- the pipeline's own unbounded
@@ -129,6 +138,13 @@ struct BatchReport {
   std::size_t budget_exhausted = 0;
   std::size_t cancelled = 0;
   std::size_t disagreements = 0;  // only when check_agreement
+  /// Cache statistics scoped to this batch (stats delta over the run);
+  /// meaningful only when cache_enabled. Diagnostics, like timings and
+  /// steal counts: concurrent workers race on misses (two workers can
+  /// both miss the same key and both compute it), so the counters are not
+  /// a pure function of the inputs and are excluded from canonical().
+  bool cache_enabled = false;
+  cache::StatsSnapshot cache_stats;
 
   [[nodiscard]] bool all_consistent() const {
     return consistent == results.size();

@@ -1,0 +1,278 @@
+#include "cache/store.hpp"
+
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+namespace speccc::cache {
+
+StatsSnapshot StatsSnapshot::since(const StatsSnapshot& earlier) const {
+  StatsSnapshot delta;
+  delta.l1_hits = l1_hits - earlier.l1_hits;
+  delta.l1_misses = l1_misses - earlier.l1_misses;
+  delta.l2_hits = l2_hits - earlier.l2_hits;
+  delta.l2_misses = l2_misses - earlier.l2_misses;
+  delta.evictions = evictions - earlier.evictions;
+  return delta;
+}
+
+void print_stats(std::ostream& os, const StatsSnapshot& stats) {
+  os << "cache: L1 " << stats.l1_hits << " hits / " << stats.l1_misses
+     << " misses, L2 " << stats.l2_hits << " hits / " << stats.l2_misses
+     << " misses, " << stats.evictions << " evictions\n";
+}
+
+namespace detail {
+
+template <typename Value>
+struct ShardedMap<Value>::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<util::Digest, Value> map;
+  std::deque<util::Digest> fifo;  // insertion order, for eviction
+};
+
+template <typename Value>
+ShardedMap<Value>::ShardedMap(std::size_t shards, std::size_t max_entries)
+    : shards_(shards == 0 ? 1 : shards) {
+  const std::size_t n = shards_.size();
+  // Ceiling split so the total cap is at least max_entries.
+  per_shard_cap_ = max_entries == 0 ? 0 : (max_entries + n - 1) / n;
+}
+
+template <typename Value>
+ShardedMap<Value>::~ShardedMap() = default;
+
+template <typename Value>
+std::optional<Value> ShardedMap<Value>::get(const util::Digest& key) const {
+  const Shard& shard = shards_[key.hi % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+template <typename Value>
+std::size_t ShardedMap<Value>::put(const util::Digest& key, const Value& value) {
+  Shard& shard = shards_[key.hi % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.map.count(key) != 0) return 0;  // racing writer got here first
+  std::size_t evicted = 0;
+  while (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_) {
+    shard.map.erase(shard.fifo.front());
+    shard.fifo.pop_front();
+    ++evicted;
+  }
+  shard.map.emplace(key, value);
+  shard.fifo.push_back(key);
+  return evicted;
+}
+
+template <typename Value>
+std::size_t ShardedMap<Value>::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+template class ShardedMap<nlp::Sentence>;
+template class ShardedMap<bool>;
+template class ShardedMap<synth::SynthesisResult>;
+template class ShardedMap<refine::RefinementOutcome>;
+template class ShardedMap<timeabs::Abstraction>;
+
+}  // namespace detail
+
+Store::Store(StoreOptions options)
+    : options_(options),
+      sentences_(options.shards, options.max_entries),
+      satisfiable_(options.shards, options.max_entries),
+      synthesis_(options.shards, options.max_entries),
+      refinement_(options.shards, options.max_entries),
+      abstraction_(options.shards, options.max_entries) {}
+
+namespace {
+
+/// Count a lookup against the right level's counters.
+void count(bool hit, std::atomic<std::uint64_t>& hits,
+           std::atomic<std::uint64_t>& misses) {
+  (hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::optional<nlp::Sentence> Store::find_sentence(const util::Digest& key) const {
+  auto result = sentences_.get(key);
+  count(result.has_value(), l1_hits_, l1_misses_);
+  return result;  // non-const local: moves
+}
+
+void Store::put_sentence(const util::Digest& key, const nlp::Sentence& sentence) {
+  evictions_.fetch_add(sentences_.put(key, sentence), std::memory_order_relaxed);
+}
+
+std::optional<bool> Store::find_satisfiable(const util::Digest& key) const {
+  auto result = satisfiable_.get(key);
+  count(result.has_value(), l2_hits_, l2_misses_);
+  return result;  // non-const local: moves
+}
+
+void Store::put_satisfiable(const util::Digest& key, bool satisfiable) {
+  evictions_.fetch_add(satisfiable_.put(key, satisfiable),
+                       std::memory_order_relaxed);
+}
+
+std::optional<synth::SynthesisResult> Store::find_synthesis(
+    const util::Digest& key) const {
+  auto result = synthesis_.get(key);
+  count(result.has_value(), l2_hits_, l2_misses_);
+  return result;  // non-const local: moves
+}
+
+void Store::put_synthesis(const util::Digest& key,
+                          const synth::SynthesisResult& result) {
+  evictions_.fetch_add(synthesis_.put(key, result), std::memory_order_relaxed);
+}
+
+std::optional<refine::RefinementOutcome> Store::find_refinement(
+    const util::Digest& key) const {
+  auto result = refinement_.get(key);
+  count(result.has_value(), l2_hits_, l2_misses_);
+  return result;  // non-const local: moves
+}
+
+void Store::put_refinement(const util::Digest& key,
+                           const refine::RefinementOutcome& outcome) {
+  evictions_.fetch_add(refinement_.put(key, outcome), std::memory_order_relaxed);
+}
+
+std::optional<timeabs::Abstraction> Store::find_abstraction(
+    const util::Digest& key) const {
+  auto result = abstraction_.get(key);
+  count(result.has_value(), l2_hits_, l2_misses_);
+  return result;  // non-const local: moves
+}
+
+void Store::put_abstraction(const util::Digest& key,
+                            const timeabs::Abstraction& abstraction) {
+  evictions_.fetch_add(abstraction_.put(key, abstraction),
+                       std::memory_order_relaxed);
+}
+
+StatsSnapshot Store::stats() const {
+  StatsSnapshot snapshot;
+  snapshot.l1_hits = l1_hits_.load(std::memory_order_relaxed);
+  snapshot.l1_misses = l1_misses_.load(std::memory_order_relaxed);
+  snapshot.l2_hits = l2_hits_.load(std::memory_order_relaxed);
+  snapshot.l2_misses = l2_misses_.load(std::memory_order_relaxed);
+  snapshot.evictions = evictions_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::size_t Store::size() const {
+  return sentences_.size() + satisfiable_.size() + synthesis_.size() +
+         refinement_.size() + abstraction_.size();
+}
+
+// ---- Key derivation ---------------------------------------------------------
+
+std::string normalize_sentence(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  for (char c : text) {
+    const bool blank = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+    if (blank) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  return out;
+}
+
+util::Digest sentence_key(std::string_view normalized_text,
+                          const util::Digest& lexicon_fingerprint) {
+  return util::DigestBuilder("sentence")
+      .str(normalized_text)
+      .digest(lexicon_fingerprint)
+      .finalize();
+}
+
+util::Digest satisfiability_key(ltl::Formula formula) {
+  return util::DigestBuilder("sat")
+      .digest(ltl::canonical_digest(formula))
+      .finalize();
+}
+
+namespace {
+
+void fold_signature(util::DigestBuilder& builder,
+                    const synth::IoSignature& signature) {
+  builder.u64(signature.inputs.size());
+  for (const std::string& in : signature.inputs) builder.str(in);
+  builder.u64(signature.outputs.size());
+  for (const std::string& out : signature.outputs) builder.str(out);
+}
+
+void fold_options(util::DigestBuilder& builder,
+                  const synth::SynthesisOptions& options) {
+  builder.u64(static_cast<std::uint64_t>(options.engine));
+  builder.u64(static_cast<std::uint64_t>(options.bounded.max_k));
+  builder.u64(options.bounded.extract ? 1 : 0);
+  builder.u64(options.bounded.max_alphabet_bits);
+  builder.u64(options.bounded.max_game_positions);
+  builder.u64(options.bounded.max_ucw_states);
+  builder.u64(options.symbolic.extract ? 1 : 0);
+  builder.u64(options.symbolic.max_extract_inputs);
+}
+
+void fold_formulas(util::DigestBuilder& builder,
+                   const std::vector<ltl::Formula>& formulas) {
+  builder.u64(formulas.size());
+  for (ltl::Formula f : formulas) builder.digest(ltl::canonical_digest(f));
+}
+
+}  // namespace
+
+util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
+                           const synth::IoSignature& signature,
+                           const synth::SynthesisOptions& options) {
+  util::DigestBuilder builder("synthesis");
+  fold_formulas(builder, formulas);
+  fold_signature(builder, signature);
+  fold_options(builder, options);
+  return builder.finalize();
+}
+
+util::Digest refinement_key(const std::vector<ltl::Formula>& formulas,
+                            const synth::IoSignature& signature,
+                            const synth::SynthesisOptions& options) {
+  util::DigestBuilder builder("refinement");
+  fold_formulas(builder, formulas);
+  fold_signature(builder, signature);
+  fold_options(builder, options);
+  return builder.finalize();
+}
+
+util::Digest abstraction_key(const timeabs::Request& request, int backend) {
+  util::DigestBuilder builder("abstraction");
+  builder.u64(request.thetas.size());
+  for (std::uint32_t theta : request.thetas) builder.u64(theta);
+  builder.u64(request.error_budget);
+  builder.u64(request.signs.size());
+  for (timeabs::ErrorSign sign : request.signs) {
+    builder.u64(static_cast<std::uint64_t>(sign));
+  }
+  builder.u64(static_cast<std::uint64_t>(backend));
+  return builder.finalize();
+}
+
+}  // namespace speccc::cache

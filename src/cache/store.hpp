@@ -1,0 +1,194 @@
+// Cross-spec memoization: a thread-safe, two-level, content-addressed
+// store for the artifacts the Fig. 1 pipeline recomputes across repeated
+// and revised specifications.
+//
+//   Level 1 (per sentence): the structured-English parse
+//     (nlp::parse_sentence output), keyed by the whitespace-normalized
+//     sentence text plus the lexicon fingerprint. Requirements documents
+//     under revision share most of their sentences across revisions — and
+//     the pipeline itself parses every sentence twice when time
+//     abstraction re-translates — so this level hits even within a single
+//     run.
+//
+//   Level 2 (per formula / per spec): decision artifacts keyed by
+//     ltl::canonical_digest — per-requirement tableau satisfiability, the
+//     whole-spec synthesis verdict (keyed by formulas + I/O signature +
+//     engine options), the refinement outcome, and the time-abstraction
+//     solution (keyed by Theta + budget + backend). A repeated spec skips
+//     synthesis entirely; a revised spec still reuses every per-formula
+//     artifact of its unchanged requirements.
+//
+// Key derivation rule: a key must cover EVERYTHING the cached value is a
+// function of — the cache is authoritative on a hit and never validates.
+// The *_key helpers below are the single source of truth; extend them
+// (never reuse a domain string) when adding a cached artifact.
+//
+// Concurrency: each level is sharded over mutex-protected maps (shard =
+// key bits), so batch workers (batch/batch.hpp) share one store without
+// serializing on a global lock — this is the sanctioned exception to the
+// per-worker-isolation threading rule, in the same class as the formula
+// intern arena. Values are returned by copy; entries are immutable once
+// inserted. Two workers may race to compute the same missing entry; both
+// compute, both insert the identical value, and the counters record two
+// misses — which is why hit/miss statistics are diagnostics (like
+// timings), excluded from canonical batch reports.
+//
+// Determinism: every cached computation is a pure function of its key, so
+// a run with a store (fresh or warm) is byte-identical in all canonical
+// outputs to a run without one; only wall-clock changes. batch_test and
+// the CI cache smoke enforce this.
+//
+// Eviction: FIFO per shard, capped by StoreOptions::max_entries per
+// artifact kind. FIFO (not LRU) keeps the hit path single-lock-cheap;
+// batch workloads sweep keys in waves, where recency tracking buys little.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ltl/formula.hpp"
+#include "nlp/syntax.hpp"
+#include "refine/refine.hpp"
+#include "synth/synthesizer.hpp"
+#include "timeabs/abstraction.hpp"
+#include "util/digest.hpp"
+
+namespace speccc::cache {
+
+struct StoreOptions {
+  /// Mutex shards per artifact kind; more shards = less contention.
+  std::size_t shards = 16;
+  /// Entry cap per artifact kind (sentences, satisfiability, synthesis,
+  /// refinement, abstraction each get their own cap), split evenly across
+  /// shards. 0 means unlimited.
+  std::size_t max_entries = 1 << 16;
+};
+
+/// Point-in-time counters. "l1" is the sentence level, "l2" aggregates the
+/// formula/spec-level artifact kinds. Snapshots are monotone; subtract two
+/// to scope statistics to one batch (BatchReport does this).
+struct StatsSnapshot {
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] std::uint64_t hits() const { return l1_hits + l2_hits; }
+  [[nodiscard]] std::uint64_t misses() const { return l1_misses + l2_misses; }
+  /// this - earlier, fieldwise (for per-batch deltas).
+  [[nodiscard]] StatsSnapshot since(const StatsSnapshot& earlier) const;
+};
+
+/// The one-line human rendering ("cache: L1 H hits / M misses, L2 ..."),
+/// shared by the batch summary and speccc_batch --cache-stats so the two
+/// cannot drift.
+void print_stats(std::ostream& os, const StatsSnapshot& stats);
+
+namespace detail {
+
+/// One sharded FIFO-evicting map. Value types must be copyable; get()
+/// copies out under the shard lock.
+template <typename Value>
+class ShardedMap {
+ public:
+  ShardedMap(std::size_t shards, std::size_t max_entries);
+  ~ShardedMap();
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  [[nodiscard]] std::optional<Value> get(const util::Digest& key) const;
+  /// Inserts unless the key is already present; evicts the shard's oldest
+  /// entry first when the shard is at capacity. Returns evictions made.
+  std::size_t put(const util::Digest& key, const Value& value);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Shard;
+  std::vector<Shard> shards_;
+  std::size_t per_shard_cap_;  // 0 = unlimited
+};
+
+}  // namespace detail
+
+class Store {
+ public:
+  explicit Store(StoreOptions options = {});
+
+  // ---- Level 1: sentence parses --------------------------------------------
+  [[nodiscard]] std::optional<nlp::Sentence> find_sentence(const util::Digest& key) const;
+  void put_sentence(const util::Digest& key, const nlp::Sentence& sentence);
+
+  // ---- Level 2: decision artifacts -----------------------------------------
+  [[nodiscard]] std::optional<bool> find_satisfiable(const util::Digest& key) const;
+  void put_satisfiable(const util::Digest& key, bool satisfiable);
+
+  [[nodiscard]] std::optional<synth::SynthesisResult> find_synthesis(
+      const util::Digest& key) const;
+  void put_synthesis(const util::Digest& key, const synth::SynthesisResult& result);
+
+  [[nodiscard]] std::optional<refine::RefinementOutcome> find_refinement(
+      const util::Digest& key) const;
+  void put_refinement(const util::Digest& key, const refine::RefinementOutcome& outcome);
+
+  [[nodiscard]] std::optional<timeabs::Abstraction> find_abstraction(
+      const util::Digest& key) const;
+  void put_abstraction(const util::Digest& key, const timeabs::Abstraction& abstraction);
+
+  [[nodiscard]] StatsSnapshot stats() const;
+  /// Total live entries across every artifact kind.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const StoreOptions& options() const { return options_; }
+
+ private:
+  StoreOptions options_;
+  detail::ShardedMap<nlp::Sentence> sentences_;
+  detail::ShardedMap<bool> satisfiable_;
+  detail::ShardedMap<synth::SynthesisResult> synthesis_;
+  detail::ShardedMap<refine::RefinementOutcome> refinement_;
+  detail::ShardedMap<timeabs::Abstraction> abstraction_;
+
+  mutable std::atomic<std::uint64_t> l1_hits_{0};
+  mutable std::atomic<std::uint64_t> l1_misses_{0};
+  mutable std::atomic<std::uint64_t> l2_hits_{0};
+  mutable std::atomic<std::uint64_t> l2_misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+// ---- Key derivation ---------------------------------------------------------
+// Each helper folds in everything its artifact depends on, under a unique
+// domain string. Collisions across kinds are impossible (separate maps);
+// collisions within a kind are 2^-128 events.
+
+/// Level 1: (whitespace-normalized sentence, lexicon fingerprint).
+[[nodiscard]] util::Digest sentence_key(std::string_view normalized_text,
+                                        const util::Digest& lexicon_fingerprint);
+
+/// Whitespace normalization for sentence_key: trim plus collapse runs of
+/// blanks to single spaces. Case is preserved — mid-sentence
+/// capitalization is grammatically meaningful (proper names).
+[[nodiscard]] std::string normalize_sentence(std::string_view text);
+
+/// Level 2: per-formula tableau satisfiability.
+[[nodiscard]] util::Digest satisfiability_key(ltl::Formula formula);
+
+/// Level 2: whole-spec synthesis (formulas in order, signature, options).
+[[nodiscard]] util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
+                                         const synth::IoSignature& signature,
+                                         const synth::SynthesisOptions& options);
+
+/// Level 2: stage-3 refinement (formulas, initial partition via the
+/// signature it induces, synthesis options).
+[[nodiscard]] util::Digest refinement_key(const std::vector<ltl::Formula>& formulas,
+                                          const synth::IoSignature& signature,
+                                          const synth::SynthesisOptions& options);
+
+/// Level 2: the Section IV-E abstraction (Theta, budget, signs, backend).
+[[nodiscard]] util::Digest abstraction_key(const timeabs::Request& request,
+                                           int backend);
+
+}  // namespace speccc::cache

@@ -13,7 +13,9 @@ Pipeline::Pipeline(PipelineOptions options)
     : options_(std::move(options)),
       lexicon_(options_.lexicon.value_or(nlp::Lexicon::builtin())),
       dictionary_(
-          options_.dictionary.value_or(semantics::AntonymDictionary::builtin())) {}
+          options_.dictionary.value_or(semantics::AntonymDictionary::builtin())),
+      translator_(lexicon_, dictionary_, options_.translation,
+                  options_.cache.get()) {}
 
 PipelineResult Pipeline::run(
     const std::string& name,
@@ -28,13 +30,12 @@ PipelineResult Pipeline::run(
     }
   };
 
-  const translate::Translator translator(lexicon_, dictionary_,
-                                         options_.translation);
+  cache::Store* const store = options_.cache.get();
 
   // ---- Stage 1: translation ---------------------------------------------------
   poll_cancel("translation");
   util::Stopwatch stage1;
-  result.translation = translator.translate(requirements);
+  result.translation = translator_.translate(requirements);
 
   // Time abstraction: harvest Theta, optimize, re-translate with the mapper.
   const auto thetas = result.translation.thetas();
@@ -42,7 +43,18 @@ PipelineResult Pipeline::run(
     timeabs::Request request;
     request.thetas = thetas;
     request.error_budget = options_.error_budget;
-    const auto abstraction = timeabs::optimize(request, options_.timeabs_backend);
+    std::optional<timeabs::Abstraction> abstraction;
+    if (store != nullptr) {
+      const util::Digest key = cache::abstraction_key(
+          request, static_cast<int>(options_.timeabs_backend));
+      abstraction = store->find_abstraction(key);
+      if (!abstraction.has_value()) {
+        abstraction = timeabs::optimize(request, options_.timeabs_backend);
+        if (abstraction.has_value()) store->put_abstraction(key, *abstraction);
+      }
+    } else {
+      abstraction = timeabs::optimize(request, options_.timeabs_backend);
+    }
     speccc_check(abstraction.has_value(), "abstraction always has d=1 fallback");
     result.abstraction = abstraction;
 
@@ -54,7 +66,7 @@ PipelineResult Pipeline::run(
       const auto it = remap.find(ticks);
       return it == remap.end() ? ticks : it->second;
     };
-    result.translation = translator.translate(requirements, mapper);
+    result.translation = translator_.translate(requirements, mapper);
   }
 
   const std::vector<ltl::Formula> formulas = result.translation.formulas();
@@ -68,7 +80,19 @@ PipelineResult Pipeline::run(
       if (ltl::max_next_chain(req.formula) > options_.satisfiability_chain_cap) {
         continue;
       }
-      if (!automata::satisfiable(req.formula)) {
+      bool satisfiable;
+      if (store != nullptr) {
+        const util::Digest key = cache::satisfiability_key(req.formula);
+        if (const auto hit = store->find_satisfiable(key)) {
+          satisfiable = *hit;
+        } else {
+          satisfiable = automata::satisfiable(req.formula);
+          store->put_satisfiable(key, satisfiable);
+        }
+      } else {
+        satisfiable = automata::satisfiable(req.formula);
+      }
+      if (!satisfiable) {
         result.unsatisfiable_requirements.push_back(req.id);
       }
     }
@@ -84,7 +108,21 @@ PipelineResult Pipeline::run(
                            result.partition.outputs.end());
 
   util::Stopwatch stage2;
-  result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+  if (store != nullptr) {
+    // Verdict and engine statistics are pure functions of the key; the
+    // result's embedded `seconds` is the original computation's timing (the
+    // caller-visible stage clock below is always fresh).
+    const util::Digest key =
+        cache::synthesis_key(formulas, signature, options_.synthesis);
+    if (auto hit = store->find_synthesis(key)) {
+      result.synthesis = *std::move(hit);
+    } else {
+      result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+      store->put_synthesis(key, result.synthesis);
+    }
+  } else {
+    result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+  }
   result.synthesis_seconds = stage2.seconds();
   result.consistent =
       result.synthesis.verdict == synth::Realizability::kRealizable;
@@ -93,8 +131,20 @@ PipelineResult Pipeline::run(
   if (!result.consistent && options_.refine_on_failure) {
     poll_cancel("refinement");
     util::Stopwatch stage3;
-    result.refinement =
-        refine::refine(formulas, result.partition, options_.synthesis);
+    if (store != nullptr) {
+      const util::Digest key =
+          cache::refinement_key(formulas, signature, options_.synthesis);
+      if (auto hit = store->find_refinement(key)) {
+        result.refinement = *std::move(hit);
+      } else {
+        result.refinement =
+            refine::refine(formulas, result.partition, options_.synthesis);
+        store->put_refinement(key, *result.refinement);
+      }
+    } else {
+      result.refinement =
+          refine::refine(formulas, result.partition, options_.synthesis);
+    }
     result.refinement_seconds = stage3.seconds();
     if (result.refinement->consistent) {
       result.consistent = true;

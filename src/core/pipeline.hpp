@@ -9,10 +9,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/store.hpp"
 #include "partition/partition.hpp"
 #include "refine/refine.hpp"
 #include "semantics/antonyms.hpp"
@@ -48,6 +50,13 @@ struct PipelineOptions {
   /// completion -- use the synthesis caps (BoundedOptions) to bound the
   /// stages themselves. Null means never cancelled.
   std::function<bool()> cancelled;
+  /// Cross-spec memoization (cache/store.hpp); null disables caching.
+  /// The store is thread-safe and content-addressed: share ONE store
+  /// across pipelines and batch workers (batch does this automatically
+  /// when this option is set). Every cached computation is a pure
+  /// function of its key, so results are identical with the cache on or
+  /// off — only wall-clock changes.
+  std::shared_ptr<cache::Store> cache;
 };
 
 struct PipelineResult {
@@ -78,6 +87,11 @@ class Pipeline {
   Pipeline() : Pipeline(PipelineOptions{}) {}
   explicit Pipeline(PipelineOptions options);
 
+  // Not copyable/movable: the translator member refers to the pipeline's
+  // own lexicon/dictionary (prvalue returns still work via elision).
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
   /// Run the full loop on a named specification.
   [[nodiscard]] PipelineResult run(
       const std::string& name,
@@ -89,6 +103,9 @@ class Pipeline {
   PipelineOptions options_;
   nlp::Lexicon lexicon_;
   semantics::AntonymDictionary dictionary_;
+  // Built once: with a cache attached, construction also fingerprints the
+  // lexicon (the level-1 key component), which must not recur per run.
+  translate::Translator translator_;
 };
 
 }  // namespace speccc::core

@@ -289,6 +289,35 @@ Formula release(Formula a, Formula b) {
   return Arena::instance().intern(Op::kRelease, "", {a, b});
 }
 
+// ---- Canonical digest -------------------------------------------------------
+
+util::Digest canonical_digest(Formula f) {
+  speccc_check(!f.is_null(), "cannot digest a null formula");
+  // Iterative post-order over the DAG with per-call memoization keyed by
+  // the node id: sharing keeps the walk linear in distinct subformulas,
+  // and deep Next chains (timed requirements reach hundreds of X's) never
+  // touch the call stack.
+  std::unordered_map<std::uint64_t, util::Digest> memo;
+  std::vector<std::pair<Formula, bool>> stack{{f, false}};
+  while (!stack.empty()) {
+    auto [node, children_done] = stack.back();
+    stack.pop_back();
+    if (memo.count(node.id()) != 0) continue;
+    if (!children_done) {
+      stack.push_back({node, true});
+      for (Formula c : node.children()) stack.push_back({c, false});
+      continue;
+    }
+    util::DigestBuilder builder("ltl");
+    builder.u64(static_cast<std::uint64_t>(node.op()));
+    if (node.op() == Op::kAp) builder.str(node.ap_name());
+    builder.u64(node.arity());
+    for (Formula c : node.children()) builder.digest(memo.at(c.id()));
+    memo.emplace(node.id(), builder.finalize());
+  }
+  return memo.at(f.id());
+}
+
 // ---- Printing ---------------------------------------------------------------
 
 namespace {

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "util/digest.hpp"
+
 namespace speccc::ltl {
 
 enum class Op : std::uint8_t {
@@ -116,6 +118,19 @@ class Formula {
 [[nodiscard]] Formula until(Formula a, Formula b);
 [[nodiscard]] Formula weak_until(Formula a, Formula b);
 [[nodiscard]] Formula release(Formula a, Formula b);
+
+// ---- Canonical digest -------------------------------------------------------
+
+/// Stable 128-bit structural digest of a formula: a pure function of the
+/// operator tree (ops, proposition names, child order), independent of the
+/// intern arena's creation order, the process, and the platform — unlike
+/// id() (a creation index) and hash() (std::hash-seeded). Structurally
+/// equal formulas always collide; structurally different formulas collide
+/// with probability ~2^-128. This is the level-2 cache key of
+/// cache/store.hpp: any artifact derived from a formula alone (tableau
+/// satisfiability, an NBW, a synthesis verdict given a signature) may be
+/// memoized under it.
+[[nodiscard]] util::Digest canonical_digest(Formula f);
 
 // ---- Printing ---------------------------------------------------------------
 

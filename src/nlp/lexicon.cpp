@@ -1,5 +1,6 @@
 #include "nlp/lexicon.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 #include "util/strings.hpp"
@@ -142,6 +143,42 @@ std::set<Pos> Lexicon::lookup(const std::string& raw) const {
     out.insert(Pos::kNoun);
   }
   return out;
+}
+
+util::Digest Lexicon::fingerprint() const {
+  // Sort the unordered containers so the digest is a pure function of the
+  // vocabulary's content, not of hashing or insertion order.
+  util::DigestBuilder builder("lexicon");
+
+  std::vector<const std::string*> words;
+  words.reserve(words_.size());
+  for (const auto& [word, _] : words_) words.push_back(&word);
+  std::sort(words.begin(), words.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  builder.u64(words.size());
+  for (const std::string* word : words) {
+    builder.str(*word);
+    const std::set<Pos>& poss = words_.at(*word);
+    builder.u64(poss.size());
+    for (Pos pos : poss) builder.u64(static_cast<std::uint64_t>(pos));
+  }
+
+  builder.u64(verb_lemmas_.size());
+  for (const std::string& lemma : verb_lemmas_) builder.str(lemma);
+
+  std::vector<const std::string*> forms;
+  forms.reserve(irregular_.size());
+  for (const auto& [form, _] : irregular_) forms.push_back(&form);
+  std::sort(forms.begin(), forms.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  builder.u64(forms.size());
+  for (const std::string* form : forms) {
+    const VerbAnalysis& analysis = irregular_.at(*form);
+    builder.str(*form);
+    builder.str(analysis.lemma);
+    builder.u64(static_cast<std::uint64_t>(analysis.form));
+  }
+  return builder.finalize();
 }
 
 Lexicon Lexicon::builtin() {

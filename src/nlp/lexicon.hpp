@@ -17,6 +17,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/digest.hpp"
+
 namespace speccc::nlp {
 
 enum class Pos {
@@ -76,6 +78,16 @@ class Lexicon {
   [[nodiscard]] std::optional<unsigned> time_unit_seconds(const std::string& word) const;
 
   [[nodiscard]] bool known(const std::string& word) const;
+
+  /// Stable content fingerprint of the vocabulary (words with their part
+  /// of speech sets, verb lemmas, irregular inflections), independent of
+  /// insertion order, process, and platform. Two lexicons parse every
+  /// sentence identically when their fingerprints match (up to digest
+  /// collision), so this is the level-1 cache invalidation key: a cached
+  /// sentence parse is keyed by (normalized text, lexicon fingerprint) and
+  /// any vocabulary edit changes the key rather than poisoning old entries
+  /// (see cache/store.hpp).
+  [[nodiscard]] util::Digest fingerprint() const;
 
  private:
   std::unordered_map<std::string, std::set<Pos>> words_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/store.hpp"
 #include "util/diagnostics.hpp"
 #include "util/strings.hpp"
 
@@ -153,8 +154,29 @@ class ClauseTranslator {
 
 Translator::Translator(const nlp::Lexicon& lexicon,
                        const semantics::AntonymDictionary& dictionary,
-                       Options options)
-    : lexicon_(lexicon), dictionary_(dictionary), options_(options) {}
+                       Options options, cache::Store* cache)
+    : lexicon_(lexicon),
+      dictionary_(dictionary),
+      options_(options),
+      cache_(cache) {
+  if (cache_ != nullptr) lexicon_fingerprint_ = lexicon_.fingerprint();
+}
+
+nlp::Sentence Translator::parse_cached(const std::string& text) const {
+  if (cache_ == nullptr) return nlp::parse_sentence(text, lexicon_);
+  const util::Digest key =
+      cache::sentence_key(cache::normalize_sentence(text), lexicon_fingerprint_);
+  if (auto hit = cache_->find_sentence(key)) {
+    // The cached parse may originate from a whitespace variant of this
+    // sentence; restore the verbatim text so diagnostics print it as
+    // written here.
+    hit->text = text;
+    return *std::move(hit);
+  }
+  nlp::Sentence sentence = nlp::parse_sentence(text, lexicon_);
+  cache_->put_sentence(key, sentence);
+  return sentence;
+}
 
 namespace {
 
@@ -232,9 +254,11 @@ TranslationResult Translator::translate(
   TranslationResult result;
 
   // Phase 1: parse everything (Algorithm 1 needs the whole specification).
+  // With a cache, revisions and re-translation passes (time abstraction
+  // calls translate() twice) skip re-parsing unchanged sentences.
   std::vector<nlp::Sentence> sentences;
   for (const RequirementText& req : requirements) {
-    sentences.push_back(nlp::parse_sentence(req.text, lexicon_));
+    sentences.push_back(parse_cached(req.text));
   }
 
   // Phase 2: semantic reasoning over the whole specification.

@@ -31,6 +31,11 @@
 #include "nlp/syntax.hpp"
 #include "semantics/antonyms.hpp"
 #include "semantics/reasoning.hpp"
+#include "util/digest.hpp"
+
+namespace speccc::cache {
+class Store;
+}  // namespace speccc::cache
 
 namespace speccc::translate {
 
@@ -75,9 +80,20 @@ struct TranslationResult {
 
 class Translator {
  public:
+  /// `cache` (optional, caller-owned, must outlive the translator) memoizes
+  /// sentence parses across translate() calls — the level-1 cache of
+  /// cache/store.hpp, keyed by normalized sentence text plus this lexicon's
+  /// fingerprint, so building a translator over an edited vocabulary
+  /// invalidates by changing the key. The referenced lexicon must not be
+  /// mutated while this translator is in use (already required for parse
+  /// coherence; with a cache, the fingerprint is snapshotted here, so a
+  /// later mutation would also serve parses under the stale key — make a
+  /// new Translator per vocabulary instead, as core::Pipeline does).
+  /// Parsing is a pure function of (text, lexicon): results are identical
+  /// with or without a cache, only faster.
   Translator(const nlp::Lexicon& lexicon,
              const semantics::AntonymDictionary& dictionary,
-             Options options = {});
+             Options options = {}, cache::Store* cache = nullptr);
 
   /// Translate a specification. The optional tick mapper re-encodes timing
   /// constraints (Section IV-E second pass).
@@ -92,9 +108,13 @@ class Translator {
       const TickMapper& tick_mapper = nullptr) const;
 
  private:
+  [[nodiscard]] nlp::Sentence parse_cached(const std::string& text) const;
+
   const nlp::Lexicon& lexicon_;
   const semantics::AntonymDictionary& dictionary_;
   Options options_;
+  cache::Store* cache_ = nullptr;
+  util::Digest lexicon_fingerprint_;  // computed once iff cache_ is set
 };
 
 }  // namespace speccc::translate

@@ -1,0 +1,84 @@
+#include "util/digest.hpp"
+
+namespace speccc::util {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit permutation.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Tag bytes separating the appender domains.
+constexpr std::uint64_t kTagU64 = 0x01;
+constexpr std::uint64_t kTagStr = 0x02;
+constexpr std::uint64_t kTagDigest = 0x03;
+
+}  // namespace
+
+std::string Digest::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+    out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+DigestBuilder::DigestBuilder(std::string_view domain) { str(domain); }
+
+void DigestBuilder::absorb(std::uint64_t word) {
+  ++count_;
+  a_ = mix(a_ ^ word);
+  b_ = mix(b_ + rotl(word, 32) + count_);
+}
+
+DigestBuilder& DigestBuilder::u64(std::uint64_t v) {
+  absorb(kTagU64);
+  absorb(v);
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::str(std::string_view s) {
+  absorb(kTagStr);
+  absorb(s.size());
+  // Pack bytes little-endian into words; the length prefix disambiguates
+  // the zero padding of the final partial word.
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (unsigned char c : s) {
+    word |= static_cast<std::uint64_t>(c) << shift;
+    shift += 8;
+    if (shift == 64) {
+      absorb(word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) absorb(word);
+  return *this;
+}
+
+DigestBuilder& DigestBuilder::digest(const Digest& d) {
+  absorb(kTagDigest);
+  absorb(d.hi);
+  absorb(d.lo);
+  return *this;
+}
+
+Digest DigestBuilder::finalize() const {
+  Digest out;
+  out.hi = mix(a_ ^ rotl(b_, 17) ^ count_);
+  out.lo = mix(b_ ^ rotl(a_, 29) ^ (count_ * 0x9e3779b97f4a7c15ULL));
+  return out;
+}
+
+}  // namespace speccc::util

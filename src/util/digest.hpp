@@ -1,0 +1,64 @@
+// Deterministic 128-bit content digests for the memoization layer.
+//
+// std::hash is implementation-defined (and seeded per process for strings
+// on some standard libraries), so cache keys that must be stable across
+// processes, platforms, and library versions are built here instead: a
+// byte-oriented sponge over two 64-bit lanes with splitmix64 finalizers.
+// Strings are length-prefixed so concatenation cannot alias ("ab","c" vs
+// "a","bc"), and the total byte count is folded into the final mix.
+//
+// This is a content-addressing hash, not a cryptographic one: 128 bits
+// keep accidental collisions out of reach for cache-sized key sets, but an
+// adversary could construct collisions. Cache consumers treat a hit as
+// authoritative, so feed the digest everything the cached value depends on
+// (see cache/store.hpp for the key-derivation rules).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace speccc::util {
+
+struct Digest {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest&, const Digest&) = default;
+
+  /// 32 lowercase hex digits (hi then lo), for logs and tests.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// Incremental digest builder. Append order matters; every appender is
+/// domain-separated by a tag byte so u64(0) and str("") cannot collide.
+class DigestBuilder {
+ public:
+  DigestBuilder() = default;
+  /// Seed with a domain label, separating key namespaces ("sentence",
+  /// "sat", ...) that might otherwise absorb identical byte streams.
+  explicit DigestBuilder(std::string_view domain);
+
+  DigestBuilder& u64(std::uint64_t v);
+  DigestBuilder& str(std::string_view s);  // length-prefixed
+  DigestBuilder& digest(const Digest& d);
+
+  [[nodiscard]] Digest finalize() const;
+
+ private:
+  void absorb(std::uint64_t word);
+
+  std::uint64_t a_ = 0x6a09e667f3bcc908ULL;  // sqrt(2), sqrt(3) fractions
+  std::uint64_t b_ = 0xbb67ae8584caa73bULL;
+  std::uint64_t count_ = 0;  // words absorbed
+};
+
+}  // namespace speccc::util
+
+template <>
+struct std::hash<speccc::util::Digest> {
+  std::size_t operator()(const speccc::util::Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.lo);  // lanes are already uniform
+  }
+};

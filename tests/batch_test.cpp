@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "batch/batch.hpp"
 #include "batch/corpus_tasks.hpp"
+#include "cache/store.hpp"
 #include "core/pipeline.hpp"
 #include "corpus/generator.hpp"
 #include "difftest/harness.hpp"
@@ -80,6 +82,52 @@ TEST(BatchDeterminism, FixedDifftestSeedMatchesSequential) {
   const std::vector<batch::SpecTask> tasks = generated_tasks(7, 10);
   const std::string sequential = batch::canonical(run_with_jobs(tasks, 1));
   EXPECT_EQ(batch::canonical(run_with_jobs(tasks, 4)), sequential);
+}
+
+// The cache acceptance contract: canonical reports are byte-identical
+// with the memoization store on vs. off, for N in {1, 4, 8}, over all 22
+// Table I corpus rows — both against a cold store and against a store
+// pre-warmed by a previous batch (all-hits path).
+TEST(BatchDeterminism, CacheOnMatchesCacheOffForAllWorkerCounts) {
+  const std::vector<batch::SpecTask> tasks = batch::table1_tasks();
+  const std::string uncached = batch::canonical(run_with_jobs(tasks, 1));
+
+  batch::BatchOptions options;
+  options.pipeline.cache = std::make_shared<speccc::cache::Store>();
+  for (const int jobs : {1, 4, 8}) {
+    options.jobs = jobs;
+    const batch::BatchReport report = batch::check(tasks, options);
+    EXPECT_EQ(batch::canonical(report), uncached) << "jobs=" << jobs;
+    EXPECT_TRUE(report.cache_enabled);
+  }
+}
+
+// A second batch over a warm shared store answers from the cache (the
+// cross-batch reuse the revision workflow relies on) without changing a
+// byte of the canonical report.
+TEST(BatchCache, WarmStoreHitsAcrossBatchesAndKeepsVerdicts) {
+  const std::vector<batch::SpecTask> tasks = batch::robot_tasks();
+  batch::BatchOptions options;
+  options.jobs = 2;
+  options.pipeline.cache = std::make_shared<speccc::cache::Store>();
+
+  const batch::BatchReport cold = batch::check(tasks, options);
+  const batch::BatchReport warm = batch::check(tasks, options);
+
+  EXPECT_EQ(batch::canonical(warm), batch::canonical(cold));
+  EXPECT_GT(cold.cache_stats.misses(), 0u);
+  EXPECT_GT(warm.cache_stats.hits(), 0u);
+  // Every decision of the warm batch is memoized: no level-2 misses.
+  EXPECT_EQ(warm.cache_stats.l2_misses, 0u);
+  EXPECT_EQ(warm.cache_stats.l1_misses, 0u);
+}
+
+// Without a store the report says so and carries zeroed counters.
+TEST(BatchCache, DisabledByDefault) {
+  const batch::BatchReport report = run_with_jobs(batch::robot_tasks(), 1);
+  EXPECT_FALSE(report.cache_enabled);
+  EXPECT_EQ(report.cache_stats.hits() + report.cache_stats.misses(), 0u);
+  EXPECT_EQ(batch::to_json(report).find("\"cache\""), std::string::npos);
 }
 
 TEST(BatchScheduler, ResultsKeepInputOrderAndWorkerIdsAreInRange) {

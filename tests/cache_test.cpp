@@ -1,0 +1,289 @@
+// Tests for the cross-spec memoization layer (cache/store.hpp): canonical
+// digest stability, lexicon fingerprint invalidation, store semantics
+// (hit/miss counters, FIFO eviction under max_entries), and the
+// cached-equals-uncached contract at the translator and pipeline levels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/store.hpp"
+#include "core/pipeline.hpp"
+#include "ltl/formula.hpp"
+#include "ltl/parser.hpp"
+#include "nlp/lexicon.hpp"
+#include "semantics/antonyms.hpp"
+#include "translate/translator.hpp"
+#include "util/digest.hpp"
+
+namespace cache = speccc::cache;
+namespace ltl = speccc::ltl;
+namespace nlp = speccc::nlp;
+using speccc::util::Digest;
+using speccc::util::DigestBuilder;
+
+namespace {
+
+std::vector<speccc::translate::RequirementText> door_lock_spec() {
+  return {
+      {"R1", "If the door button is pressed, the lock signal is updated."},
+      {"R2", "When the door sensor is detected, eventually the alarm is raised."},
+      {"R3",
+       "If the battery status is measured, the monitor light is activated in "
+       "10 seconds."},
+  };
+}
+
+}  // namespace
+
+// ---- util::Digest -----------------------------------------------------------
+
+TEST(DigestBuilder, AppendersAreDomainSeparatedAndOrderSensitive) {
+  const Digest a = DigestBuilder().str("ab").str("c").finalize();
+  const Digest b = DigestBuilder().str("a").str("bc").finalize();
+  EXPECT_NE(a, b);  // length prefixes prevent concatenation aliasing
+
+  const Digest c = DigestBuilder().u64(0).finalize();
+  const Digest d = DigestBuilder().str("").finalize();
+  EXPECT_NE(c, d);  // tag bytes separate the appender kinds
+
+  EXPECT_EQ(DigestBuilder("x").u64(7).finalize(),
+            DigestBuilder("x").u64(7).finalize());
+  EXPECT_NE(DigestBuilder("x").u64(7).finalize(),
+            DigestBuilder("y").u64(7).finalize());
+}
+
+TEST(DigestBuilder, HexRendersBothLanes) {
+  const Digest d{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(d.hex(), "0123456789abcdeffedcba9876543210");
+}
+
+// ---- ltl::canonical_digest --------------------------------------------------
+
+// The digest is a persistent cache-key format: these pinned values detect
+// any accidental change to the algorithm (which would silently invalidate
+// — or worse, mis-match — every key derived from formulas).
+TEST(CanonicalDigest, PinnedValuesAreStable) {
+  EXPECT_EQ(ltl::canonical_digest(ltl::parse("G (a -> b)")).hex(),
+            "8e66b93de56689d491d35e4e908126d3");
+  EXPECT_EQ(ltl::canonical_digest(ltl::parse("a U b")).hex(),
+            "00910f8019924b33dd8cb0a04dd9c5a7");
+  EXPECT_EQ(ltl::canonical_digest(ltl::tru()).hex(),
+            "47c7742b0513c67ae146072891946d32");
+}
+
+TEST(CanonicalDigest, StructurallyEqualFormulasAgreeHoweverBuilt) {
+  const ltl::Formula parsed = ltl::parse("G (a -> b)");
+  const ltl::Formula built =
+      ltl::always(ltl::implies(ltl::ap("a"), ltl::ap("b")));
+  EXPECT_EQ(ltl::canonical_digest(parsed), ltl::canonical_digest(built));
+
+  // Print/parse round trip preserves the digest.
+  EXPECT_EQ(ltl::canonical_digest(ltl::parse(ltl::to_string(parsed))),
+            ltl::canonical_digest(parsed));
+}
+
+TEST(CanonicalDigest, DistinguishesStructureOperatorsAndNames) {
+  const auto d = [](const char* text) {
+    return ltl::canonical_digest(ltl::parse(text));
+  };
+  EXPECT_NE(d("a U b"), d("b U a"));      // child order
+  EXPECT_NE(d("a U b"), d("a W b"));      // operator
+  EXPECT_NE(d("a && b"), d("a || b"));    // n-ary operator
+  EXPECT_NE(d("F alpha"), d("F alphb"));  // proposition name
+  EXPECT_NE(d("X a"), d("X X a"));        // depth
+}
+
+TEST(CanonicalDigest, DeepNextChainsDoNotRecurse) {
+  // Timed requirements produce X-chains hundreds deep; the walk must be
+  // iterative (this would overflow a naive recursion at -O0 sanitizer
+  // stack sizes long before 50k).
+  const ltl::Formula deep = ltl::next_n(ltl::ap("p"), 50'000);
+  const ltl::Formula deep2 = ltl::next_n(ltl::ap("p"), 50'000);
+  EXPECT_EQ(ltl::canonical_digest(deep), ltl::canonical_digest(deep2));
+}
+
+// ---- nlp::Lexicon::fingerprint ----------------------------------------------
+
+TEST(LexiconFingerprint, ContentDeterminesFingerprintNotInsertionOrder) {
+  nlp::Lexicon a;
+  a.add("door", nlp::Pos::kNoun);
+  a.add_verb("press");
+  a.add("red", nlp::Pos::kAdjective);
+
+  nlp::Lexicon b;
+  b.add("red", nlp::Pos::kAdjective);
+  b.add_verb("press");
+  b.add("door", nlp::Pos::kNoun);
+
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  // Pinned on a fixed hand-composed lexicon (NOT on builtin(), whose
+  // vocabulary may legitimately grow): detects accidental changes to the
+  // fingerprint algorithm, a persistent cache-key format.
+  EXPECT_EQ(a.fingerprint().hex(), "98f0377d91e0468e578e70bcd5e318f6");
+}
+
+TEST(LexiconFingerprint, AnyVocabularyEditChangesTheFingerprint) {
+  nlp::Lexicon base = nlp::Lexicon::builtin();
+  const Digest before = base.fingerprint();
+
+  nlp::Lexicon with_word = base;
+  with_word.add("flux", nlp::Pos::kNoun);
+  EXPECT_NE(with_word.fingerprint(), before);
+
+  nlp::Lexicon with_verb = base;
+  with_verb.add_verb("flux");
+  EXPECT_NE(with_verb.fingerprint(), before);
+  EXPECT_NE(with_verb.fingerprint(), with_word.fingerprint());
+
+  nlp::Lexicon with_irregular = base;
+  with_irregular.add_irregular_verb("floxen", "flux", nlp::VerbForm::kPast);
+  EXPECT_NE(with_irregular.fingerprint(), before);
+}
+
+// ---- key derivation ---------------------------------------------------------
+
+TEST(CacheKeys, SentenceKeyNormalizesWhitespaceButPreservesCase) {
+  EXPECT_EQ(cache::normalize_sentence("  the  Air Ok\tsignal \n"),
+            "the Air Ok signal");
+
+  const Digest lex = nlp::Lexicon::builtin().fingerprint();
+  EXPECT_EQ(cache::sentence_key(cache::normalize_sentence("a   b"), lex),
+            cache::sentence_key(cache::normalize_sentence(" a b "), lex));
+  // Case is meaningful (proper names): never folded by normalization.
+  EXPECT_NE(cache::sentence_key("the Air Ok signal", lex),
+            cache::sentence_key("the air ok signal", lex));
+  // The lexicon fingerprint is part of the key: vocabulary edits
+  // invalidate by changing the key, not by purging entries.
+  nlp::Lexicon extended = nlp::Lexicon::builtin();
+  extended.add("flux", nlp::Pos::kNoun);
+  EXPECT_NE(cache::sentence_key("a b", lex),
+            cache::sentence_key("a b", extended.fingerprint()));
+}
+
+TEST(CacheKeys, SynthesisKeyCoversFormulasSignatureAndOptions) {
+  const std::vector<ltl::Formula> formulas{ltl::parse("G (a -> b)")};
+  speccc::synth::IoSignature signature{{"a"}, {"b"}};
+  speccc::synth::SynthesisOptions options;
+
+  const Digest base = cache::synthesis_key(formulas, signature, options);
+  EXPECT_EQ(base, cache::synthesis_key(formulas, signature, options));
+
+  speccc::synth::IoSignature flipped{{"b"}, {"a"}};
+  EXPECT_NE(base, cache::synthesis_key(formulas, flipped, options));
+
+  speccc::synth::SynthesisOptions bounded = options;
+  bounded.engine = speccc::synth::Engine::kBounded;
+  EXPECT_NE(base, cache::synthesis_key(formulas, signature, bounded));
+
+  // Refinement and synthesis artifacts never share keys even for equal
+  // inputs (separate domains).
+  EXPECT_NE(base, cache::refinement_key(formulas, signature, options));
+}
+
+// ---- cache::Store -----------------------------------------------------------
+
+TEST(Store, CountsHitsAndMissesPerLevel) {
+  cache::Store store;
+  const Digest key = cache::satisfiability_key(ltl::parse("F p"));
+
+  EXPECT_FALSE(store.find_satisfiable(key).has_value());
+  store.put_satisfiable(key, true);
+  const auto hit = store.find_satisfiable(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit);
+
+  const cache::StatsSnapshot stats = store.stats();
+  EXPECT_EQ(stats.l2_misses, 1u);
+  EXPECT_EQ(stats.l2_hits, 1u);
+  EXPECT_EQ(stats.l1_hits + stats.l1_misses, 0u);
+  EXPECT_EQ(stats.hits(), 1u);
+  EXPECT_EQ(stats.misses(), 1u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(Store, EvictsOldestFirstUnderMaxEntries) {
+  cache::StoreOptions options;
+  options.shards = 1;  // single shard: eviction order is exactly FIFO
+  options.max_entries = 4;
+  cache::Store store(options);
+
+  std::vector<Digest> keys;
+  for (int i = 0; i < 6; ++i) {
+    keys.push_back(DigestBuilder("test").u64(i).finalize());
+    store.put_satisfiable(keys.back(), i % 2 == 0);
+  }
+
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.stats().evictions, 2u);
+  EXPECT_FALSE(store.find_satisfiable(keys[0]).has_value());  // evicted
+  EXPECT_FALSE(store.find_satisfiable(keys[1]).has_value());  // evicted
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_TRUE(store.find_satisfiable(keys[i]).has_value()) << i;
+  }
+}
+
+TEST(Store, PutIsFirstWriterWinsAndIdempotent) {
+  cache::Store store;
+  const Digest key = DigestBuilder("test").u64(1).finalize();
+  store.put_satisfiable(key, true);
+  store.put_satisfiable(key, false);  // racing duplicate: ignored
+  EXPECT_TRUE(*store.find_satisfiable(key));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+// ---- translator + pipeline integration --------------------------------------
+
+TEST(TranslatorCache, CachedTranslationIsIdenticalAndHitsOnReuse) {
+  const nlp::Lexicon lexicon = nlp::Lexicon::builtin();
+  const auto dictionary = speccc::semantics::AntonymDictionary::builtin();
+  const auto spec = door_lock_spec();
+
+  const speccc::translate::Translator plain(lexicon, dictionary);
+  const auto expected = plain.translate(spec);
+
+  cache::Store store;
+  const speccc::translate::Translator cached(lexicon, dictionary, {}, &store);
+  const auto first = cached.translate(spec);
+  const auto second = cached.translate(spec);
+
+  ASSERT_EQ(first.requirements.size(), expected.requirements.size());
+  for (std::size_t i = 0; i < expected.requirements.size(); ++i) {
+    EXPECT_EQ(first.requirements[i].formula, expected.requirements[i].formula);
+    EXPECT_EQ(second.requirements[i].formula, expected.requirements[i].formula);
+    EXPECT_EQ(first.requirements[i].text, expected.requirements[i].text);
+  }
+  const cache::StatsSnapshot stats = store.stats();
+  EXPECT_EQ(stats.l1_misses, spec.size());  // first pass parsed
+  EXPECT_EQ(stats.l1_hits, spec.size());    // second pass fully cached
+}
+
+TEST(PipelineCache, CachedRunMatchesUncachedAndSkipsRecomputation) {
+  const auto spec = door_lock_spec();
+
+  const speccc::core::Pipeline uncached;
+  const auto expected = uncached.run("door_lock", spec);
+
+  speccc::core::PipelineOptions options;
+  options.cache = std::make_shared<cache::Store>();
+  const speccc::core::Pipeline pipeline(options);
+  const auto first = pipeline.run("door_lock", spec);
+  const cache::StatsSnapshot after_first = options.cache->stats();
+  const auto second = pipeline.run("door_lock", spec);
+  const cache::StatsSnapshot after_second = options.cache->stats();
+
+  for (const auto* run : {&first, &second}) {
+    EXPECT_EQ(run->consistent, expected.consistent);
+    EXPECT_EQ(run->num_formulas(), expected.num_formulas());
+    EXPECT_EQ(run->partition.inputs, expected.partition.inputs);
+    EXPECT_EQ(run->partition.outputs, expected.partition.outputs);
+    EXPECT_EQ(run->unsatisfiable_requirements,
+              expected.unsatisfiable_requirements);
+    EXPECT_EQ(run->synthesis.verdict, expected.synthesis.verdict);
+  }
+  // The repeated run decides nothing anew: every level-2 lookup hits.
+  EXPECT_GT(after_second.l2_hits, after_first.l2_hits);
+  EXPECT_EQ(after_second.l2_misses, after_first.l2_misses);
+  EXPECT_EQ(after_second.l1_misses, after_first.l1_misses);
+}

@@ -34,6 +34,16 @@
 //   --crosscheck       re-decide each spec with both synthesis engines and
 //                      report substrate agreement
 //   --strict-next      translate "next" as a real X operator
+//   --cache            share a cross-spec memoization store (cache/store.hpp)
+//                      across the batch: repeated sentences and formulas are
+//                      decided once. Canonical output is byte-identical with
+//                      or without it (supported smoke: diff the two)
+//   --cache-max N      cache entry cap per artifact kind (default 65536)
+//   --cache-stats      implies --cache. With caching on, the human summary
+//                      and the JSON report always carry the hit/miss/
+//                      eviction counters; this flag additionally prints
+//                      them (to stderr) in --canonical mode, whose stdout
+//                      stream must stay byte-identical cache-on vs off
 //   --quiet            suppress the per-spec progress line
 //
 // Exit code: 0 all consistent; 2 some spec inconsistent; 3 errors, budget
@@ -44,10 +54,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "cache/store.hpp"
 #include "batch/corpus_tasks.hpp"
 #include "corpus/generator.hpp"
 #include "corpus/loaders.hpp"
@@ -65,7 +77,8 @@ int usage() {
          "                    [--corpus cara|tele|robot|table1]\n"
          "                    [--generate N] [--seed S] [--jobs N]\n"
          "                    [--json FILE] [--canonical] [--time-budget S]\n"
-         "                    [--crosscheck] [--strict-next] [--quiet]\n";
+         "                    [--crosscheck] [--strict-next] [--quiet]\n"
+         "                    [--cache] [--cache-max N] [--cache-stats]\n";
   return 1;
 }
 
@@ -132,6 +145,9 @@ int main(int argc, char** argv) {
   int generate_count = 0;
   bool canonical_output = false;
   bool quiet = false;
+  bool use_cache = false;
+  bool print_cache_stats = false;
+  std::size_t cache_max = cache::StoreOptions{}.max_entries;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -159,6 +175,18 @@ int main(int argc, char** argv) {
         options.check_agreement = true;
       } else if (arg == "--strict-next") {
         options.pipeline.translation.next_mode = translate::NextMode::kStrict;
+      } else if (arg == "--cache") {
+        use_cache = true;
+      } else if (arg == "--cache-max") {
+        const long long n = std::atoll(next_arg().c_str());
+        if (n < 1) {
+          std::cerr << "--cache-max must be at least 1\n";
+          return usage();
+        }
+        cache_max = static_cast<std::size_t>(n);
+      } else if (arg == "--cache-stats") {
+        use_cache = true;
+        print_cache_stats = true;
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg == "--seed") {
@@ -200,6 +228,12 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  if (use_cache) {
+    cache::StoreOptions store_options;
+    store_options.max_entries = cache_max;
+    options.pipeline.cache = std::make_shared<cache::Store>(store_options);
+  }
+
   if (!quiet) {
     options.on_result = [](const batch::TaskResult& r) {
       std::cerr << "[" << r.worker << "] " << r.name << ": "
@@ -215,6 +249,9 @@ int main(int argc, char** argv) {
   std::ostream& text_out = json_path == "-" ? std::cerr : std::cout;
   if (canonical_output) {
     text_out << batch::canonical(report);
+    // Keep the canonical stream byte-identical cache-on vs cache-off (and
+    // jobs-1 vs jobs-N): stats go to stderr here, never into the contract.
+    if (print_cache_stats) cache::print_stats(std::cerr, report.cache_stats);
   } else {
     batch::print_summary(text_out, report);
   }
