@@ -1,0 +1,166 @@
+// BDD engine micro-benchmarks: the operations the complement-edge rewrite
+// targets. Three axes tracked by the CI pinned subset:
+//
+//   * negation cost -- O(1) edge flips vs the textbook full-ITE pass;
+//   * fused vs staged relational products -- and_exists(f, g, V) against
+//     exists(f && g, V), the kernel of every symbolic fixpoint iteration;
+//   * unique-table load -- raw mk() throughput through the open-addressing
+//     table while thousands of distinct nodes are created.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "util/diagnostics.hpp"
+
+namespace {
+
+namespace bdd = speccc::bdd;
+
+/// n-bit ripple-carry sum of two fresh vectors; a convenient generator of
+/// medium-sized shared structure (the same circuit bench_substrates sizes
+/// the whole-manager adder equivalence with).
+std::vector<bdd::Bdd> adder_outputs(bdd::Manager& mgr, int bits) {
+  std::vector<int> xs;
+  std::vector<int> ys;
+  for (int i = 0; i < bits; ++i) {
+    xs.push_back(mgr.new_var());
+    ys.push_back(mgr.new_var());
+  }
+  std::vector<bdd::Bdd> out;
+  bdd::Bdd carry = mgr.bdd_false();
+  for (int i = 0; i < bits; ++i) {
+    const auto a = mgr.var(xs[static_cast<std::size_t>(i)]);
+    const auto b = mgr.var(ys[static_cast<std::size_t>(i)]);
+    out.push_back(mgr.bdd_xor(mgr.bdd_xor(a, b), carry));
+    carry = mgr.bdd_or(mgr.bdd_and(a, b),
+                       mgr.bdd_and(carry, mgr.bdd_xor(a, b)));
+  }
+  out.push_back(carry);
+  return out;
+}
+
+// Negation cost: 1024 negations of every output of an n-bit adder. With
+// complement edges each negation is one edge flip; no nodes are created.
+void BM_BddNegation(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  bdd::Manager mgr;
+  const auto outputs = adder_outputs(mgr, bits);
+  const std::size_t nodes_before = mgr.node_count();
+  for (auto _ : state) {
+    for (int round = 0; round < 1024; ++round) {
+      for (const bdd::Bdd& f : outputs) {
+        benchmark::DoNotOptimize(mgr.bdd_not(f));
+      }
+    }
+  }
+  speccc_check(mgr.node_count() == nodes_before,
+               "negation must not allocate nodes");
+}
+BENCHMARK(BM_BddNegation)->DenseRange(8, 24, 8)->Unit(benchmark::kMicrosecond);
+
+/// The two operands of a relational-product workload over n (a_i, b_i)
+/// pairs: f constrains each pair, g chains a_i into b_{i+1}; quantifying
+/// the a_i out of f && g is the shape of exists o. (safe && T∘f).
+struct RelProduct {
+  bdd::Bdd f;
+  bdd::Bdd g;
+  std::vector<int> quantified;
+};
+
+RelProduct relational_operands(bdd::Manager& mgr, int pairs) {
+  std::vector<int> as;
+  std::vector<int> bs;
+  for (int i = 0; i < pairs; ++i) {
+    as.push_back(mgr.new_var());
+    bs.push_back(mgr.new_var());
+  }
+  RelProduct out;
+  out.f = mgr.bdd_true();
+  out.g = mgr.bdd_true();
+  for (int i = 0; i < pairs; ++i) {
+    out.f = mgr.bdd_and(
+        out.f, mgr.bdd_or(mgr.var(as[static_cast<std::size_t>(i)]),
+                          mgr.var(bs[static_cast<std::size_t>(i)])));
+    const int next_b = bs[static_cast<std::size_t>((i + 1) % pairs)];
+    out.g = mgr.bdd_and(
+        out.g, mgr.bdd_or(mgr.nvar(as[static_cast<std::size_t>(i)]),
+                          mgr.var(next_b)));
+  }
+  out.quantified = as;
+  return out;
+}
+
+// Staged form: materialize the conjunction, then quantify -- the textbook
+// (pre-rewrite) fixpoint step.
+void BM_BddAndThenExists(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bdd::Manager mgr;
+    const RelProduct rp = relational_operands(mgr, pairs);
+    const bdd::Bdd product = mgr.exists(mgr.bdd_and(rp.f, rp.g), rp.quantified);
+    benchmark::DoNotOptimize(product.index());
+  }
+}
+BENCHMARK(BM_BddAndThenExists)->DenseRange(8, 16, 4)->Unit(benchmark::kMicrosecond);
+
+// Fused form: one and_exists pass, never building the conjunction.
+void BM_BddAndExists(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bdd::Manager mgr;
+    const RelProduct rp = relational_operands(mgr, pairs);
+    const bdd::Bdd product = mgr.and_exists(rp.f, rp.g, rp.quantified);
+    benchmark::DoNotOptimize(product.index());
+  }
+}
+BENCHMARK(BM_BddAndExists)->DenseRange(8, 16, 4)->Unit(benchmark::kMicrosecond);
+
+// Dual fused form, same workload: forall a. (f -> g).
+void BM_BddForallImplies(benchmark::State& state) {
+  const int pairs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    bdd::Manager mgr;
+    const RelProduct rp = relational_operands(mgr, pairs);
+    const bdd::Bdd result = mgr.forall_implies(rp.f, rp.g, rp.quantified);
+    benchmark::DoNotOptimize(result.index());
+  }
+}
+BENCHMARK(BM_BddForallImplies)->DenseRange(8, 16, 4)->Unit(benchmark::kMicrosecond);
+
+// Unique-table load: a DNF of n random minterms over 24 variables creates
+// thousands of distinct nodes, hammering mk() and the open-addressing
+// growth path. Stats keep the honest count.
+void BM_BddUniqueTableLoad(benchmark::State& state) {
+  const int minterms = static_cast<int>(state.range(0));
+  constexpr int kVars = 24;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    speccc::util::Rng rng(0xb00ULL + static_cast<std::uint64_t>(minterms));
+    bdd::Manager mgr;
+    for (int v = 0; v < kVars; ++v) (void)mgr.new_var();
+    bdd::Bdd f = mgr.bdd_false();
+    for (int m = 0; m < minterms; ++m) {
+      std::vector<std::pair<int, bool>> literals;
+      for (int v = 0; v < kVars; ++v) {
+        literals.emplace_back(v, rng.chance(1, 2));
+      }
+      f = mgr.bdd_or(f, mgr.cube(literals));
+    }
+    nodes = mgr.node_count();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+// Sizes start at 256 minterms and MinTime is pinned: the smaller
+// workloads finish in tens of microseconds, where single-core container
+// jitter swamps the signal bench_compare tracks.
+BENCHMARK(BM_BddUniqueTableLoad)
+    ->RangeMultiplier(4)
+    ->Range(256, 4096)
+    ->MinTime(0.25)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -174,6 +174,9 @@ class Worker {
       result.translation_seconds = pipeline_result.translation_seconds;
       result.synthesis_seconds = pipeline_result.synthesis_seconds;
       result.refinement_seconds = pipeline_result.refinement_seconds;
+      if (pipeline_result.synthesis.engine_used == synth::Engine::kSymbolic) {
+        result.bdd = pipeline_result.synthesis.bdd_stats;
+      }
       if (options_.check_agreement) {
         result.agreement =
             check_substrates(pipeline_result, options_.agreement_bounded);
@@ -268,6 +271,15 @@ BatchReport check(const std::vector<SpecTask>& tasks,
       case TaskStatus::kCancelled: ++report.cancelled; break;
     }
     if (r.agreement.checked && !r.agreement.agree()) ++report.disagreements;
+    if (r.bdd.peak_nodes > 0) {
+      ++report.bdd.tasks;
+      report.bdd.peak_nodes_max =
+          std::max(report.bdd.peak_nodes_max, r.bdd.peak_nodes);
+      report.bdd.unique_hits += r.bdd.unique_hits;
+      report.bdd.cache_hits += r.bdd.cache_hits;
+      report.bdd.cache_misses += r.bdd.cache_misses;
+      report.bdd.cache_evictions += r.bdd.cache_evictions;
+    }
   }
   return report;
 }
@@ -343,6 +355,15 @@ std::string to_json(const BatchReport& report) {
        << ", \"l2_misses\": " << c.l2_misses
        << ", \"evictions\": " << c.evictions << "}";
   }
+  if (report.bdd.tasks > 0) {
+    const BddAggregate& b = report.bdd;
+    os << ",\n  \"bdd\": {\"tasks\": " << b.tasks
+       << ", \"peak_nodes_max\": " << b.peak_nodes_max
+       << ", \"unique_hits\": " << b.unique_hits
+       << ", \"cache_hits\": " << b.cache_hits
+       << ", \"cache_misses\": " << b.cache_misses
+       << ", \"cache_evictions\": " << b.cache_evictions << "}";
+  }
   os << ",\n  \"specs\": [\n";
   for (std::size_t i = 0; i < report.results.size(); ++i) {
     const TaskResult& r = report.results[i];
@@ -351,6 +372,11 @@ std::string to_json(const BatchReport& report) {
        << ", \"inputs\": " << r.inputs << ", \"outputs\": " << r.outputs
        << ", \"refined\": " << (r.refined ? "true" : "false")
        << ", \"seconds\": " << r.seconds << ", \"worker\": " << r.worker;
+    if (r.bdd.peak_nodes > 0) {
+      os << ", \"bdd_peak_nodes\": " << r.bdd.peak_nodes
+         << ", \"bdd_cache_hits\": " << r.bdd.cache_hits
+         << ", \"bdd_cache_misses\": " << r.bdd.cache_misses;
+    }
     if (r.agreement.checked) {
       os << ", \"symbolic\": \"" << realizability_name(r.agreement.symbolic)
          << "\", \"bounded\": \"" << realizability_name(r.agreement.bounded)
@@ -393,6 +419,13 @@ void print_summary(std::ostream& os, const BatchReport& report) {
   }
   os << "\n";
   if (report.cache_enabled) cache::print_stats(os, report.cache_stats);
+  if (report.bdd.tasks > 0) {
+    const BddAggregate& b = report.bdd;
+    os << "bdd engine: " << b.tasks << " symbolic tasks, peak "
+       << b.peak_nodes_max << " nodes, " << b.unique_hits << " unique hits, "
+       << b.cache_hits << " cache hits / " << b.cache_misses << " misses / "
+       << b.cache_evictions << " evictions\n";
+  }
 }
 
 }  // namespace speccc::batch

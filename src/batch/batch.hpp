@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "cache/store.hpp"
 #include "core/pipeline.hpp"
 #include "synth/bounded.hpp"
@@ -87,6 +88,23 @@ struct TaskResult {
   double synthesis_seconds = 0.0;
   double refinement_seconds = 0.0;
   int worker = -1;  // which worker ran it
+  /// BDD-manager counters of the task's initial synthesis (zero when the
+  /// bounded engine decided it). Every worker owns its managers, so these
+  /// are per-task-deterministic, but they are engine diagnostics like the
+  /// timings and stay out of canonical().
+  bdd::Stats bdd;
+};
+
+/// Batch-wide BDD engine aggregate: counters summed over every task that
+/// ran the symbolic engine, peak nodes as the max over tasks (managers are
+/// per-call, so sums of peaks would be meaningless).
+struct BddAggregate {
+  std::size_t tasks = 0;  ///< tasks decided by the symbolic engine
+  std::size_t peak_nodes_max = 0;
+  std::size_t unique_hits = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
 };
 
 struct BatchOptions {
@@ -145,6 +163,9 @@ struct BatchReport {
   /// a pure function of the inputs and are excluded from canonical().
   bool cache_enabled = false;
   cache::StatsSnapshot cache_stats;
+  /// Per-worker bdd::Manager counters aggregated over the batch (see
+  /// BddAggregate). Diagnostics; excluded from canonical().
+  BddAggregate bdd;
 
   [[nodiscard]] bool all_consistent() const {
     return consistent == results.size();

@@ -4,19 +4,36 @@
 
 namespace speccc::game {
 
-bdd::Bdd apply_transition(const SymbolicGame& game, bdd::Bdd target) {
+namespace {
+
+/// Transition substitution: state variable b -> next_state[b], every other
+/// variable identity. The manager interns the resolved map, so rebuilding
+/// this vector every call still keys one persistent cache entry.
+std::vector<bdd::Bdd> transition_map(const SymbolicGame& game) {
   bdd::Manager& mgr = *game.manager;
   std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
   for (std::size_t b = 0; b < game.state_vars.size(); ++b) {
     map[static_cast<std::size_t>(game.state_vars[b])] = game.next_state[b];
   }
-  return mgr.vector_compose(target, map);
+  return map;
+}
+
+}  // namespace
+
+bdd::Bdd apply_transition(const SymbolicGame& game, bdd::Bdd target) {
+  return game.manager->vector_compose(target, transition_map(game));
 }
 
 bdd::Bdd cpre(const SymbolicGame& game, bdd::Bdd target) {
   bdd::Manager& mgr = *game.manager;
-  const bdd::Bdd step = mgr.bdd_and(game.safe, apply_transition(game, target));
-  const bdd::Bdd sys_can = mgr.exists(step, game.output_vars);
+  // One fused pass: substitute the transition functions into the target and
+  // run the relational product exists o. (safe && T∘f) without ever
+  // building the intermediate conjunction. The trailing forall over inputs
+  // costs one quantification pass; its two negations are O(1) complement
+  // flips. The textbook formulation (compose, and, exists, not, exists,
+  // not) did three full traversals plus two linear negation passes here.
+  const bdd::Bdd sys_can =
+      mgr.preimage(target, transition_map(game), game.safe, game.output_vars);
   return mgr.forall(sys_can, game.input_vars);
 }
 
@@ -25,6 +42,14 @@ SymbolicSolution solve(const SymbolicGame& game) {
   speccc_check(game.next_state.size() == game.state_vars.size(),
                "one transition function per state variable");
   bdd::Manager& mgr = *game.manager;
+
+  // The initial predicate is one minterm over the state variables, so
+  // containment in the winning region (forall s. initial -> W, a fused
+  // single pass collapsing to a terminal) and non-empty intersection
+  // coincide.
+  const auto initial_winning = [&](bdd::Bdd winning) {
+    return mgr.forall_implies(game.initial, winning, game.state_vars).is_true();
+  };
 
   SymbolicSolution solution;
   bdd::Bdd z = mgr.bdd_true();
@@ -42,7 +67,7 @@ SymbolicSolution solve(const SymbolicGame& game) {
     solution.winning = z;
     solution.stages = {};
     solution.step_constraint = mgr.bdd_and(game.safe, apply_transition(game, z));
-    solution.realizable = mgr.bdd_and(game.initial, z) != mgr.bdd_false();
+    solution.realizable = initial_winning(z);
     return solution;
   }
 
@@ -77,7 +102,7 @@ SymbolicSolution solve(const SymbolicGame& game) {
 
   solution.winning = z;
   solution.step_constraint = mgr.bdd_and(game.safe, apply_transition(game, z));
-  solution.realizable = mgr.bdd_and(game.initial, z) != mgr.bdd_false();
+  solution.realizable = initial_winning(z);
   return solution;
 }
 

@@ -60,7 +60,9 @@ struct SymbolicSolution {
 
 /// Controllable predecessor of a state-set T: states where, whatever inputs
 /// the environment picks, the system has outputs keeping the step safe and
-/// moving into T.
+/// moving into T. Computed as one fused relational-product pass
+/// (bdd::Manager::preimage) followed by a single input quantification --
+/// the uncontrollable-predecessor complement is an O(1) edge flip away.
 [[nodiscard]] bdd::Bdd cpre(const SymbolicGame& game, bdd::Bdd target);
 
 /// T with state variables substituted by the transition functions:

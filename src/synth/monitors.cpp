@@ -72,13 +72,15 @@ class Compiler {
     for (const std::string& name : signature_.outputs) {
       spec_.game.output_vars.push_back(spec_.prop_var.at(name));
     }
-    // Initial-state predicate: the minterm given by initial_bits.
-    bdd::Bdd init = mgr_.bdd_true();
+    // Initial-state predicate: the minterm given by initial_bits, built as
+    // one cube (a single bottom-up pass) instead of a conjunction chain.
+    std::vector<std::pair<int, bool>> initial_literals;
+    initial_literals.reserve(spec_.game.state_vars.size());
     for (std::size_t b = 0; b < spec_.game.state_vars.size(); ++b) {
-      init = mgr_.bdd_and(
-          init, mgr_.literal(spec_.game.state_vars[b], spec_.initial_bits[b]));
+      initial_literals.emplace_back(spec_.game.state_vars[b],
+                                    spec_.initial_bits[b]);
     }
-    spec_.game.initial = init;
+    spec_.game.initial = mgr_.cube(initial_literals);
     return std::move(spec_);
   }
 

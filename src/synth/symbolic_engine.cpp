@@ -109,19 +109,20 @@ class Extractor {
   /// (output mask, next state bits).
   std::pair<Word, std::vector<bool>> choose(const std::vector<bool>& bits,
                                             Word in, bdd::Bdd step) {
-    bdd::Bdd constrained = step;
+    // One constrained pick_model pass instead of |state|+|input|
+    // successive conjunctions: fix the configuration, read any output
+    // model consistent with it straight off the step relation.
+    std::vector<std::pair<int, bool>> fixed;
+    fixed.reserve(spec_.game.state_vars.size() + spec_.game.input_vars.size());
     for (std::size_t b = 0; b < spec_.game.state_vars.size(); ++b) {
-      constrained = mgr_.bdd_and(
-          constrained, mgr_.literal(spec_.game.state_vars[b], bits[b]));
+      fixed.emplace_back(spec_.game.state_vars[b], bits[b]);
     }
     for (std::size_t b = 0; b < spec_.game.input_vars.size(); ++b) {
-      constrained = mgr_.bdd_and(
-          constrained,
-          mgr_.literal(spec_.game.input_vars[b], ((in >> b) & 1) != 0));
+      fixed.emplace_back(spec_.game.input_vars[b], ((in >> b) & 1) != 0);
     }
-    speccc_check(constrained != mgr_.bdd_false(),
+    const auto model = mgr_.pick_model(step, fixed);
+    speccc_check(!model.empty() || step.is_true(),
                  "no safe output from a winning configuration");
-    const auto model = mgr_.pick_model(constrained);
 
     std::vector<bool> assignment(static_cast<std::size_t>(mgr_.num_vars()), false);
     for (std::size_t b = 0; b < spec_.game.state_vars.size(); ++b) {
@@ -170,7 +171,6 @@ std::optional<SymbolicOutcome> symbolic_synthesize(
                                         : Realizability::kUnrealizable;
   outcome.state_bits = compiled->game.state_vars.size();
   outcome.buchi_count = compiled->game.buchi.size();
-  outcome.peak_bdd_nodes = manager.node_count();
   outcome.fixpoint_iterations = solution.iterations;
 
   if (solution.realizable && options.extract &&
@@ -178,6 +178,9 @@ std::optional<SymbolicOutcome> symbolic_synthesize(
     Extractor extractor(*compiled, solution, signature);
     outcome.controller = extractor.run();
   }
+  // Read the counters last so extraction work is included.
+  outcome.bdd_stats = manager.stats();
+  outcome.peak_bdd_nodes = outcome.bdd_stats.peak_nodes;
   return outcome;
 }
 

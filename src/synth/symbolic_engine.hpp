@@ -12,6 +12,7 @@
 #include <optional>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "ltl/formula.hpp"
 #include "synth/bounded.hpp"
 #include "synth/mealy.hpp"
@@ -29,6 +30,9 @@ struct SymbolicOutcome {
   std::size_t buchi_count = 0;
   std::size_t peak_bdd_nodes = 0;
   int fixpoint_iterations = 0;
+  /// Engine counters of the run's (per-call, single-threaded) manager:
+  /// arena peak, unique-table hits, computed-cache hits/misses/evictions.
+  bdd::Stats bdd_stats;
   std::optional<MealyMachine> controller;
 };
 

@@ -17,6 +17,7 @@ std::optional<SynthesisResult> try_symbolic(
   result.engine_used = Engine::kSymbolic;
   result.state_bits = outcome->state_bits;
   result.peak_bdd_nodes = outcome->peak_bdd_nodes;
+  result.bdd_stats = outcome->bdd_stats;
   result.iterations = outcome->fixpoint_iterations;
   result.controller = outcome->controller;
   result.seconds = timer.seconds();

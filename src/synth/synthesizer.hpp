@@ -39,6 +39,7 @@ struct SynthesisResult {
   std::size_t ucw_states = 0;        // bounded: UCW size
   std::size_t game_positions = 0;    // bounded: peak arena size
   std::size_t peak_bdd_nodes = 0;    // symbolic
+  bdd::Stats bdd_stats;              // symbolic: manager counters
   int iterations = 0;                // fixpoint rounds / final k
   std::optional<MealyMachine> controller;
 

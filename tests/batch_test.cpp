@@ -229,3 +229,20 @@ TEST(BatchReporting, JsonContainsEverySpecAndTheJobCount) {
     EXPECT_NE(json.find(r.name), std::string::npos);
   }
 }
+
+// The per-worker BDD manager counters are aggregated into the report and
+// the JSON document, but stay out of the canonical form: they are engine
+// diagnostics, not verdicts.
+TEST(BatchReporting, BddStatsSurfaceInJsonButNotInCanonical) {
+  const batch::BatchReport report = run_with_jobs(batch::robot_tasks(), 2);
+  // Robot corpus specs sit in the symbolic engine's pattern fragment.
+  EXPECT_GT(report.bdd.tasks, 0u);
+  EXPECT_GT(report.bdd.peak_nodes_max, 0u);
+  const std::string json = batch::to_json(report);
+  EXPECT_NE(json.find("\"bdd\""), std::string::npos);
+  EXPECT_NE(json.find("\"peak_nodes_max\""), std::string::npos);
+  EXPECT_NE(json.find("\"bdd_peak_nodes\""), std::string::npos);
+  const std::string canon = batch::canonical(report);
+  EXPECT_EQ(canon.find("bdd"), std::string::npos);
+  EXPECT_EQ(canon.find("peak"), std::string::npos);
+}

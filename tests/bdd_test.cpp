@@ -1,7 +1,10 @@
 // Tests for the BDD package: canonicity, boolean algebra, quantification,
-// composition, and a brute-force cross-check against truth tables.
+// composition, complement-edge canonical-form invariants, the fused
+// operators, cache hygiene, and a brute-force cross-check against truth
+// tables.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -147,6 +150,185 @@ TEST_F(BddTest, SizeCountsReachableNodes) {
   EXPECT_EQ(mgr.size(mgr.var(a)), 1u);
 }
 
+// ---- Complement edges -------------------------------------------------------
+
+TEST_F(BddTest, NegationIsFreeAndShared) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = (mgr.var(a) & mgr.var(b)) | (mgr.nvar(b) ^ mgr.var(c));
+  const std::size_t nodes_before = mgr.node_count();
+  bdd::Bdd nf = mgr.bdd_not(f);
+  // O(1) negation: no nodes allocated, same DAG, double negation exact.
+  EXPECT_EQ(mgr.node_count(), nodes_before);
+  EXPECT_EQ(mgr.size(f), mgr.size(nf));
+  EXPECT_EQ(mgr.bdd_not(nf), f);
+  EXPECT_NE(nf, f);
+  EXPECT_EQ(f & nf, mgr.bdd_false());
+  EXPECT_EQ(f | nf, mgr.bdd_true());
+}
+
+TEST_F(BddTest, CanonicalFormInvariantsHoldAfterMixedWorkload) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  const int d = mgr.new_var();
+  bdd::Bdd f = mgr.iff(mgr.var(a) ^ mgr.var(b), mgr.var(c) & mgr.nvar(d));
+  f = f | mgr.implies(mgr.var(b), mgr.var(d));
+  (void)mgr.exists(f, {a, c});
+  (void)mgr.forall(f, {b});
+  (void)mgr.and_exists(f, mgr.bdd_not(f) | mgr.var(a), {c, d});
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  map[static_cast<std::size_t>(a)] = mgr.var(d) ^ mgr.var(b);
+  (void)mgr.vector_compose(f, map);
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+TEST_F(BddTest, CubeBuildsTheMinterm) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  const bdd::Bdd cube = mgr.cube({{b, false}, {a, true}, {c, true}});
+  EXPECT_EQ(cube,
+            mgr.var(a) & mgr.nvar(b) & mgr.var(c));
+  // A repeated variable (either polarity) is rejected outright: silently
+  // stacking two nodes on one level would break the arena's ordering
+  // invariant for every later operation.
+  EXPECT_THROW((void)mgr.cube({{a, true}, {a, false}}),
+               speccc::util::InternalError);
+  EXPECT_THROW((void)mgr.cube({{a, true}, {a, true}}),
+               speccc::util::InternalError);
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+// ---- Fused operators --------------------------------------------------------
+
+TEST_F(BddTest, AndExistsMatchesStagedForm) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.bdd_or(mgr.var(a), mgr.var(b));
+  bdd::Bdd g = mgr.bdd_or(mgr.nvar(a), mgr.var(c));
+  EXPECT_EQ(mgr.and_exists(f, g, {a}), mgr.exists(f & g, {a}));
+  EXPECT_EQ(mgr.and_exists(f, g, {a, b, c}), mgr.bdd_true());
+  EXPECT_EQ(mgr.and_exists(f, mgr.bdd_not(f), {a}), mgr.bdd_false());
+  // Empty quantifier set degrades to plain conjunction.
+  EXPECT_EQ(mgr.and_exists(f, g, {}), f & g);
+}
+
+TEST_F(BddTest, ForallImpliesMatchesStagedForm) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  bdd::Bdd f = mgr.var(a);
+  bdd::Bdd g = mgr.bdd_and(mgr.var(a), mgr.var(b));
+  // forall a. (a -> a && b) == b
+  EXPECT_EQ(mgr.forall_implies(f, g, {a}), mgr.var(b));
+  EXPECT_EQ(mgr.forall_implies(f, g, {a}),
+            mgr.forall(mgr.implies(f, g), {a}));
+  // Containment test collapsing to a terminal: (a && b) -> a is valid.
+  EXPECT_TRUE(mgr.forall_implies(g, f, {a, b}).is_true());
+  EXPECT_FALSE(mgr.forall_implies(f, g, {a, b}).is_true());
+}
+
+TEST_F(BddTest, PreimageMatchesComposeAndExists) {
+  // Two state bits, one input, one output; next s0 = in, next s1 = s0 ^ out.
+  const int s0 = mgr.new_var();
+  const int s1 = mgr.new_var();
+  const int in = mgr.new_var();
+  const int out = mgr.new_var();
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  map[static_cast<std::size_t>(s0)] = mgr.var(in);
+  map[static_cast<std::size_t>(s1)] = mgr.var(s0) ^ mgr.var(out);
+  const bdd::Bdd target = mgr.bdd_and(mgr.var(s0), mgr.nvar(s1));
+  const bdd::Bdd safe = mgr.implies(mgr.var(in), mgr.var(out));
+  const bdd::Bdd fused = mgr.preimage(target, map, safe, {out});
+  const bdd::Bdd staged =
+      mgr.exists(safe & mgr.vector_compose(target, map), {out});
+  EXPECT_EQ(fused, staged);
+}
+
+TEST_F(BddTest, CofactorFixesSeveralLiteralsInOnePass) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.ite(mgr.var(a), mgr.var(b) ^ mgr.var(c), mgr.nvar(c));
+  EXPECT_EQ(mgr.cofactor(f, {{a, true}, {b, false}}), mgr.var(c));
+  EXPECT_EQ(mgr.cofactor(f, {{a, false}}), mgr.nvar(c));
+  EXPECT_EQ(mgr.cofactor(f, {}), f);
+}
+
+// ---- Cache hygiene and statistics -------------------------------------------
+
+TEST_F(BddTest, ClearCachesIsSafeAndResultsAreStable) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.iff(mgr.var(a), mgr.var(b) & mgr.var(c));
+  const bdd::Bdd ex = mgr.exists(f, {b});
+  const bdd::Bdd product = mgr.and_exists(f, mgr.var(c), {a});
+  mgr.clear_caches();
+  // Handles survive, recomputation lands on the identical canonical edges,
+  // and the canonical form is intact.
+  EXPECT_EQ(mgr.exists(f, {b}), ex);
+  EXPECT_EQ(mgr.and_exists(f, mgr.var(c), {a}), product);
+  EXPECT_EQ(f & mgr.bdd_not(f), mgr.bdd_false());
+  EXPECT_TRUE(mgr.check_canonical());
+}
+
+TEST_F(BddTest, StatsCountCacheAndUniqueTraffic) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = (mgr.var(a) | mgr.var(b)) & mgr.var(c);
+  const bdd::Stats after_build = mgr.stats();
+  EXPECT_GT(after_build.peak_nodes, 0u);
+  // Rebuilding the same function is pure unique-table / cache traffic.
+  bdd::Bdd g = (mgr.var(a) | mgr.var(b)) & mgr.var(c);
+  EXPECT_EQ(f, g);
+  const bdd::Stats after_rebuild = mgr.stats();
+  EXPECT_EQ(after_rebuild.peak_nodes, after_build.peak_nodes);
+  EXPECT_GT(after_rebuild.unique_hits + after_rebuild.cache_hits,
+            after_build.unique_hits + after_build.cache_hits);
+}
+
+// ---- Deterministic models ---------------------------------------------------
+
+TEST_F(BddTest, PickModelIsDeterministicAcrossManagers) {
+  const auto build = [](bdd::Manager& m) {
+    const int a = m.new_var();
+    const int b = m.new_var();
+    const int c = m.new_var();
+    (void)a;
+    return m.bdd_or(m.bdd_and(m.var(b), m.nvar(c)),
+                    m.bdd_and(m.nvar(b), m.var(c)));
+  };
+  bdd::Bdd f = build(mgr);
+  const auto first = mgr.pick_model(f);
+  EXPECT_EQ(mgr.pick_model(f), first);  // repeated calls
+  bdd::Manager fresh;
+  EXPECT_EQ(fresh.pick_model(build(fresh)), first);  // fresh manager
+}
+
+TEST_F(BddTest, ConstrainedPickModelRespectsFixedLiterals) {
+  const int a = mgr.new_var();
+  const int b = mgr.new_var();
+  const int c = mgr.new_var();
+  bdd::Bdd f = mgr.iff(mgr.var(a), mgr.var(b) ^ mgr.var(c));
+  const auto model = mgr.pick_model(f, {{a, true}, {b, false}});
+  ASSERT_FALSE(model.empty());
+  std::vector<bool> assignment(3, false);
+  for (const auto& [v, value] : model) {
+    assignment[static_cast<std::size_t>(v)] = value;
+  }
+  EXPECT_TRUE(assignment[0]);
+  EXPECT_FALSE(assignment[1]);
+  EXPECT_TRUE(mgr.evaluate(f, assignment));
+  // Unsatisfiable under the fixed literals: a && !b && !c contradicts iff.
+  EXPECT_TRUE(mgr.pick_model(f, {{a, true}, {b, false}, {c, false}}).empty());
+  // Deterministic, like the unconstrained form.
+  EXPECT_EQ(mgr.pick_model(f, {{a, true}, {b, false}}), model);
+}
+
 // Brute-force cross-check: random circuits over 6 variables evaluated both
 // as BDDs and directly.
 class BddRandomTest : public ::testing::TestWithParam<int> {};
@@ -224,6 +406,69 @@ TEST_P(BddRandomTest, AgreesWithTruthTable) {
   bdd::Bdd ex = mgr.exists(f, {0});
   bdd::Bdd orcof = mgr.restrict_var(f, 0, false) | mgr.restrict_var(f, 0, true);
   EXPECT_EQ(ex, orcof);
+
+  // Fused operators against their staged definitions, on two random
+  // operands from the same circuit.
+  bdd::Bdd g = gate_bdd[gate_bdd.size() / 2];
+  const std::vector<int> quantified = {1, 3, 4};
+  EXPECT_EQ(mgr.and_exists(f, g, quantified),
+            mgr.exists(f & g, quantified));
+  EXPECT_EQ(mgr.forall_implies(f, g, quantified),
+            mgr.forall(mgr.implies(f, g), quantified));
+
+  // Signed-cube cofactor against sequential restriction.
+  EXPECT_EQ(mgr.cofactor(f, {{0, true}, {2, false}, {5, true}}),
+            mgr.restrict_var(mgr.restrict_var(
+                                 mgr.restrict_var(f, 0, true), 2, false),
+                             5, true));
+
+  // Composition cross-check under every assignment: substituting g for
+  // var 1 in f must evaluate like f with bit 1 replaced by g's value.
+  std::vector<bdd::Bdd> map(static_cast<std::size_t>(mgr.num_vars()));
+  map[1] = g;
+  bdd::Bdd composed = mgr.vector_compose(f, map);
+  for (int m = 0; m < (1 << kVars); ++m) {
+    std::vector<bool> assignment(kVars);
+    for (int v = 0; v < kVars; ++v) {
+      assignment[static_cast<std::size_t>(v)] = ((m >> v) & 1) != 0;
+    }
+    std::vector<bool> substituted = assignment;
+    substituted[1] = mgr.evaluate(g, assignment);
+    EXPECT_EQ(mgr.evaluate(composed, assignment),
+              mgr.evaluate(f, substituted));
+  }
+
+  // Constrained pick_model: whenever some completion of the fixed bits
+  // satisfies f, the returned model must be one.
+  const std::vector<std::pair<int, bool>> fixed = {
+      {0, (GetParam() & 1) != 0}, {3, (GetParam() & 2) != 0}};
+  const auto model = mgr.pick_model(f, fixed);
+  bool satisfiable = false;
+  for (int m = 0; m < (1 << kVars) && !satisfiable; ++m) {
+    std::vector<bool> assignment(kVars);
+    for (int v = 0; v < kVars; ++v) {
+      assignment[static_cast<std::size_t>(v)] = ((m >> v) & 1) != 0;
+    }
+    bool consistent = true;
+    for (const auto& [v, value] : fixed) {
+      consistent = consistent && assignment[static_cast<std::size_t>(v)] == value;
+    }
+    satisfiable = consistent && mgr.evaluate(f, assignment);
+  }
+  EXPECT_EQ(!model.empty() || f.is_true(), satisfiable);
+  if (!model.empty()) {
+    std::vector<bool> assignment(kVars, false);
+    for (const auto& [v, value] : fixed) {
+      assignment[static_cast<std::size_t>(v)] = value;
+    }
+    for (const auto& [v, value] : model) {
+      assignment[static_cast<std::size_t>(v)] = value;
+    }
+    EXPECT_TRUE(mgr.evaluate(f, assignment));
+  }
+
+  // The whole workload must leave the arena in canonical form.
+  EXPECT_TRUE(mgr.check_canonical());
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BddRandomTest, ::testing::Range(0, 20));

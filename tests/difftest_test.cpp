@@ -296,6 +296,25 @@ TEST(Harness, InjectedDisagreementIsCaughtAndShrunkToAMinimalCore) {
   }
 }
 
+TEST(Harness, PinnedPreviouslySlowSeedStaysCleanAndFast) {
+  // Seed 6, spec case 21: the slowest standing case of the pre-rewrite BDD
+  // engine's seed sweep (~9 s wall, dominated by extracting and model
+  // checking a 512-state controller). Pinned after the complement-edge
+  // engine swap (which cut its symbolic extraction ~2.6x) so future engine
+  // changes keep it agreeing -- and so a substrate regression that blows
+  // up this case's controller or fixpoint shows up as a timeout here
+  // instead of silently in a nightly sweep. Replayable alone via
+  //   speccc_fuzz --seed 6 --spec-case 21
+  difftest::RunOptions options;
+  options.seed = 6;
+  options.formula_cases = 0;
+  options.spec_cases = 50;
+  options.only_spec_case = 21;
+  const difftest::RunReport report = difftest::run(options);
+  EXPECT_EQ(report.specs_checked, 1);
+  EXPECT_TRUE(report.ok()) << difftest::describe(report);
+}
+
 TEST(Harness, SingleCaseReplayReproducesTheFailure) {
   difftest::RunOptions options;
   options.seed = 4;

@@ -46,6 +46,13 @@
 //                      stream must stay byte-identical cache-on vs off
 //   --quiet            suppress the per-spec progress line
 //
+// BDD engine statistics: tasks decided by the symbolic engine carry their
+// per-worker bdd::Manager counters (peak nodes, unique-table hits,
+// computed-cache hits/misses/evictions). The human summary prints the
+// batch aggregate, the JSON report carries both the aggregate ("bdd") and
+// per-spec peak/hit counters; the canonical report never includes them
+// (diagnostics, like timings and steal counts).
+//
 // Exit code: 0 all consistent; 2 some spec inconsistent; 3 errors, budget
 // exhaustion, cancellation, or substrate disagreement; 1 usage.
 #include <algorithm>
