@@ -64,6 +64,31 @@ if [[ -x "$batch_bin" ]]; then
   "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --cache \
     "$repo_root/examples/specs" > "$build_dir/batch-smoke-cache.txt"
   diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-cache.txt"
+  # Diagnosis smoke 1: over an all-consistent corpus, --diagnose must not
+  # change a byte of the canonical report (MCS enumeration only triggers
+  # on genuinely inconsistent specs; batch/batch.hpp's input-purity rule).
+  echo "speccc_batch diagnosis smoke (canonical diff, --diagnose on vs off)"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --diagnose \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-diagnose.txt"
+  diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-diagnose.txt"
+  # Diagnosis smoke 2: the hand-written multi-fault specs must come back
+  # inconsistent (exit 2) with a MUS and correction sets on every row.
+  echo "speccc_batch diagnosis smoke over examples/specs/faults"
+  fault_report="$build_dir/batch-smoke-faults.txt"
+  set +e
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --diagnose \
+    "$repo_root/examples/specs/faults" > "$fault_report"
+  fault_status=$?
+  set -e
+  if [[ "$fault_status" -ne 2 ]]; then
+    echo "error: faults corpus expected exit 2 (inconsistent), got $fault_status" >&2
+    exit 1
+  fi
+  if grep -qv 'mus=.* mcs=' "$fault_report"; then
+    echo "error: a faults row is missing its mus=/mcs= diagnosis:" >&2
+    cat "$fault_report" >&2
+    exit 1
+  fi
 else
   echo "note: $batch_bin not built (SPECCC_BUILD_TOOLS=OFF?); smoke skipped"
 fi

@@ -171,6 +171,24 @@ class Worker {
                        pipeline_result.refinement->consistent;
       result.unsatisfiable_requirements =
           pipeline_result.unsatisfiable_requirements;
+      if (pipeline_result.refinement.has_value()) {
+        // Map localization indices onto requirement ids: the diagnosis the
+        // user reads names sentences, not positions.
+        const auto& requirements = pipeline_result.translation.requirements;
+        const auto id_of = [&requirements](std::size_t i) {
+          return i < requirements.size() ? requirements[i].id
+                                         : "#" + std::to_string(i);
+        };
+        const refine::Localization& loc =
+            pipeline_result.refinement->localization;
+        for (std::size_t i : loc.core) result.mus.push_back(id_of(i));
+        for (const auto& mcs : loc.correction_sets) {
+          std::vector<std::string> ids;
+          ids.reserve(mcs.size());
+          for (std::size_t i : mcs) ids.push_back(id_of(i));
+          result.correction_sets.push_back(std::move(ids));
+        }
+      }
       result.translation_seconds = pipeline_result.translation_seconds;
       result.synthesis_seconds = pipeline_result.synthesis_seconds;
       result.refinement_seconds = pipeline_result.refinement_seconds;
@@ -297,6 +315,26 @@ void canonical_result(std::ostream& os, const TaskResult& r) {
       os << r.unsatisfiable_requirements[i];
     }
   }
+  // The diagnosis is input-pure (a function of the spec and the pipeline
+  // options alone), so unlike cache/bdd statistics it belongs to the
+  // canonical contract: byte-identical for any jobs count and cache mode.
+  if (!r.mus.empty()) {
+    os << " mus=";
+    for (std::size_t i = 0; i < r.mus.size(); ++i) {
+      if (i > 0) os << ',';
+      os << r.mus[i];
+    }
+  }
+  if (!r.correction_sets.empty()) {
+    os << " mcs=";
+    for (std::size_t s = 0; s < r.correction_sets.size(); ++s) {
+      if (s > 0) os << ';';
+      for (std::size_t i = 0; i < r.correction_sets[s].size(); ++i) {
+        if (i > 0) os << ',';
+        os << r.correction_sets[s][i];
+      }
+    }
+  }
   if (r.agreement.checked) {
     os << " symbolic=" << realizability_name(r.agreement.symbolic)
        << " bounded=" << realizability_name(r.agreement.bounded)
@@ -372,6 +410,25 @@ std::string to_json(const BatchReport& report) {
        << ", \"inputs\": " << r.inputs << ", \"outputs\": " << r.outputs
        << ", \"refined\": " << (r.refined ? "true" : "false")
        << ", \"seconds\": " << r.seconds << ", \"worker\": " << r.worker;
+    if (!r.mus.empty()) {
+      os << ", \"mus\": [";
+      for (std::size_t k = 0; k < r.mus.size(); ++k) {
+        os << (k > 0 ? ", " : "") << "\"" << json_escape(r.mus[k]) << "\"";
+      }
+      os << "]";
+    }
+    if (!r.correction_sets.empty()) {
+      os << ", \"correction_sets\": [";
+      for (std::size_t s = 0; s < r.correction_sets.size(); ++s) {
+        os << (s > 0 ? ", " : "") << "[";
+        for (std::size_t k = 0; k < r.correction_sets[s].size(); ++k) {
+          os << (k > 0 ? ", " : "") << "\""
+             << json_escape(r.correction_sets[s][k]) << "\"";
+        }
+        os << "]";
+      }
+      os << "]";
+    }
     if (r.bdd.peak_nodes > 0) {
       os << ", \"bdd_peak_nodes\": " << r.bdd.peak_nodes
          << ", \"bdd_cache_hits\": " << r.bdd.cache_hits
@@ -400,6 +457,14 @@ void print_summary(std::ostream& os, const BatchReport& report) {
          << r.outputs << " out";
       if (r.refined) os << ", refined";
       os << ", " << r.seconds << "s)";
+      if (!r.mus.empty()) {
+        os << "\n    conflicting sentences:";
+        for (const std::string& id : r.mus) os << " " << id;
+      }
+      for (const auto& mcs : r.correction_sets) {
+        os << "\n    fix by removing:";
+        for (const std::string& id : mcs) os << " " << id;
+      }
     } else if (!r.detail.empty()) {
       os << " (" << r.detail << ")";
     }

@@ -81,6 +81,16 @@ struct TaskResult {
   std::size_t outputs = 0;
   bool refined = false;  // consistency restored by partition adjustment
   std::vector<std::string> unsatisfiable_requirements;
+  /// Requirement ids of the stage-3 minimal inconsistent subset (MUS),
+  /// present whenever refinement ran (even when an adjustment then
+  /// restored consistency -- the MUS names the sentences that clashed
+  /// under the original partition). Input-pure, so part of canonical().
+  std::vector<std::string> mus;
+  /// Requirement ids of each minimal correction set, smallest first;
+  /// filled for genuinely inconsistent specs when the pipeline's
+  /// LocalizeOptions asked for them (speccc_batch --diagnose). Input-pure,
+  /// part of canonical().
+  std::vector<std::vector<std::string>> correction_sets;
   AgreementStats agreement;
   // Diagnostics (excluded from the canonical form):
   double seconds = 0.0;  // whole-task wall clock on its worker

@@ -254,11 +254,14 @@ util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
 
 util::Digest refinement_key(const std::vector<ltl::Formula>& formulas,
                             const synth::IoSignature& signature,
-                            const synth::SynthesisOptions& options) {
+                            const synth::SynthesisOptions& options,
+                            const refine::LocalizeOptions& localize_options) {
   util::DigestBuilder builder("refinement");
   fold_formulas(builder, formulas);
   fold_signature(builder, signature);
   fold_options(builder, options);
+  builder.u64(static_cast<std::uint64_t>(localize_options.method));
+  builder.u64(localize_options.max_correction_sets);
   return builder.finalize();
 }
 

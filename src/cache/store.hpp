@@ -182,10 +182,14 @@ class Store {
                                          const synth::SynthesisOptions& options);
 
 /// Level 2: stage-3 refinement (formulas, initial partition via the
-/// signature it induces, synthesis options).
-[[nodiscard]] util::Digest refinement_key(const std::vector<ltl::Formula>& formulas,
-                                          const synth::IoSignature& signature,
-                                          const synth::SynthesisOptions& options);
+/// signature it induces, synthesis options, localization options -- the
+/// cached outcome embeds the MUS and correction sets, which depend on the
+/// method and enumeration cap).
+[[nodiscard]] util::Digest refinement_key(
+    const std::vector<ltl::Formula>& formulas,
+    const synth::IoSignature& signature,
+    const synth::SynthesisOptions& options,
+    const refine::LocalizeOptions& localize_options = {});
 
 /// Level 2: the Section IV-E abstraction (Theta, budget, signs, backend).
 [[nodiscard]] util::Digest abstraction_key(const timeabs::Request& request,

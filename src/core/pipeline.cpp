@@ -132,18 +132,19 @@ PipelineResult Pipeline::run(
     poll_cancel("refinement");
     util::Stopwatch stage3;
     if (store != nullptr) {
-      const util::Digest key =
-          cache::refinement_key(formulas, signature, options_.synthesis);
+      const util::Digest key = cache::refinement_key(
+          formulas, signature, options_.synthesis, options_.localization);
       if (auto hit = store->find_refinement(key)) {
         result.refinement = *std::move(hit);
       } else {
-        result.refinement =
-            refine::refine(formulas, result.partition, options_.synthesis);
+        result.refinement = refine::refine(formulas, result.partition,
+                                           options_.synthesis,
+                                           options_.localization);
         store->put_refinement(key, *result.refinement);
       }
     } else {
-      result.refinement =
-          refine::refine(formulas, result.partition, options_.synthesis);
+      result.refinement = refine::refine(
+          formulas, result.partition, options_.synthesis, options_.localization);
     }
     result.refinement_seconds = stage3.seconds();
     if (result.refinement->consistent) {

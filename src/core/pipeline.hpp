@@ -34,6 +34,10 @@ struct PipelineOptions {
   partition::Overrides partition_overrides;
   /// Stage 3: run localization + partition adjustment when unrealizable.
   bool refine_on_failure = true;
+  /// Stage-3 localization knobs: MUS method (diag cores vs. the legacy
+  /// greedy path) and how many minimal correction sets to enumerate for
+  /// genuinely inconsistent specifications.
+  refine::LocalizeOptions localization;
   /// Flag individually unsatisfiable requirements (tableau emptiness) before
   /// synthesis. Requirements whose abstracted Next chains still exceed
   /// satisfiability_chain_cap are skipped (the tableau is exponential in

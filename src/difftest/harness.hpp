@@ -19,7 +19,7 @@
 
 namespace speccc::difftest {
 
-enum class CaseKind { kFormula, kSpec };
+enum class CaseKind { kFormula, kSpec, kPlanted };
 
 struct RunOptions {
   std::uint64_t seed = 1;
@@ -76,6 +76,15 @@ struct GeneratedSpec {
 [[nodiscard]] GeneratedSpec generated_spec(std::uint64_t master_seed,
                                            int index,
                                            const SpecConfig& config = {});
+
+/// Planted-fault spec case `index` under `master_seed`: a consistent base
+/// spec with known inconsistent sentence groups woven in (see
+/// random.hpp's plant_faults). Its own CaseKind salt, so planted cases
+/// never collide with the ordinary spec stream of the same seed. This is
+/// the ground-truth workload for the diag localization oracle tests.
+[[nodiscard]] PlantedSpec generated_planted_spec(std::uint64_t master_seed,
+                                                 int index,
+                                                 const FaultConfig& config = {});
 
 /// Run the harness: formula cases first, then spec cases.
 [[nodiscard]] RunReport run(const RunOptions& options);

@@ -1,6 +1,7 @@
 #include "difftest/random.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace speccc::difftest {
 
@@ -78,6 +79,77 @@ ltl::Lasso random_lasso(util::Rng& rng, const LassoConfig& config) {
     steps.push_back(std::move(v));
   }
   return ltl::Lasso(std::move(steps), prefix);
+}
+
+PlantedSpec plant_faults(util::Rng& rng, const FaultConfig& config,
+                         std::string name, std::uint64_t base_seed) {
+  speccc_check(config.min_faults >= 1 &&
+                   config.max_faults >= config.min_faults,
+               "fault config needs a sane fault range");
+  PlantedSpec out;
+  out.name = std::move(name);
+
+  const corpus::SpecScale scale =
+      random_scale(rng, config.base, out.name, base_seed);
+  const corpus::Theme theme = rng.chance(1, 2) ? corpus::device_theme()
+                                               : corpus::application_theme();
+  std::vector<translate::RequirementText> requirements =
+      corpus::generate_spec(scale, theme);
+
+  // Each fault speaks its own fresh dialect: a per-fault modifier word on
+  // nouns neither theme uses, so fault propositions are disjoint from the
+  // base spec and from every other fault. The partition heuristics keep
+  // the "<modifier> relay" an input (antecedents only) and the beacon and
+  // siren outputs (consequents; the chain's beacon antecedent is covered
+  // by the conflict-resolution rule).
+  static const char* const kModifiers[] = {
+      "alpha", "beta",  "gamma", "delta", "epsilon", "zeta",
+      "theta", "kappa", "lambda", "sigma", "omega",  "nova"};
+  const int pool = static_cast<int>(std::size(kModifiers));
+  const int fault_count =
+      std::min(rng.range(config.min_faults, config.max_faults), pool);
+
+  // Parallel fault tags: -1 for base sentences, else the fault index.
+  std::vector<int> tags(requirements.size(), -1);
+  for (int f = 0; f < fault_count; ++f) {
+    const std::string m = kModifiers[f];
+    const bool triple = rng.chance(config.triple_percent, 100);
+    std::vector<std::string> texts;
+    if (triple) {
+      // Pairwise consistent, jointly inconsistent implication chain.
+      texts = {"If the " + m + " relay is detected, the " + m +
+                   " beacon is triggered.",
+               "If the " + m + " beacon is triggered, the " + m +
+                   " siren is issued.",
+               "If the " + m + " relay is detected, the " + m +
+                   " siren is not issued."};
+    } else {
+      texts = {"If the " + m + " relay is detected, the " + m +
+                   " beacon is triggered.",
+               "If the " + m + " relay is detected, the " + m +
+                   " beacon is not triggered."};
+    }
+    static const char* const kLetters = "abc";
+    for (std::size_t s = 0; s < texts.size(); ++s) {
+      // Weave the fault sentence into a random position so localization
+      // cannot lean on sentence order.
+      const std::size_t at = rng.below(requirements.size() + 1);
+      requirements.insert(
+          requirements.begin() + static_cast<std::ptrdiff_t>(at),
+          {out.name + "-f" + std::to_string(f + 1) + kLetters[s],
+           std::move(texts[s])});
+      tags.insert(tags.begin() + static_cast<std::ptrdiff_t>(at), f);
+    }
+  }
+
+  out.requirements = std::move(requirements);
+  out.faults.assign(static_cast<std::size_t>(fault_count), {});
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] >= 0) {
+      out.faults[static_cast<std::size_t>(tags[i])].push_back(i);
+    }
+  }
+  return out;
 }
 
 corpus::SpecScale random_scale(util::Rng& rng, const SpecConfig& config,

@@ -74,4 +74,42 @@ struct SpecConfig {
                                              std::string name,
                                              std::uint64_t seed);
 
+/// Shape of planted-fault specifications: a consistent generated base spec
+/// with known inconsistent sentence groups injected, the ground truth the
+/// diag localization engine is tested against.
+struct FaultConfig {
+  /// Shape of the consistent base (corpus::generate_spec is realizable by
+  /// construction: inputs only in antecedents, consequents positive
+  /// except the dedicated negative-only slot).
+  SpecConfig base;
+  /// Faults per spec. At least 2 ("multi-fault"): a single-variable
+  /// partition flip can dissolve one fault, but never two at once, so
+  /// multi-fault specs are genuinely inconsistent end to end.
+  int min_faults = 2;
+  int max_faults = 4;
+  /// Chance (percent) a fault is a 3-sentence implication chain (pairwise
+  /// consistent, jointly inconsistent) instead of a direct 2-sentence
+  /// contradiction.
+  unsigned triple_percent = 35;
+};
+
+struct PlantedSpec {
+  std::string name;
+  std::vector<translate::RequirementText> requirements;
+  /// Requirement indices (sorted) of each planted fault. Every fault uses
+  /// its own fresh vocabulary, disjoint from the base and from the other
+  /// faults, so requirement subsets decompose into independent games:
+  /// every minimal inconsistent subset of the spec is exactly one of
+  /// these index sets.
+  std::vector<std::vector<std::size_t>> faults;
+};
+
+/// Generate a base spec and weave `FaultConfig`-many known inconsistent
+/// sentence groups into it at random positions. `base_seed` becomes the
+/// base scale's generator seed (cf. random_scale).
+[[nodiscard]] PlantedSpec plant_faults(util::Rng& rng,
+                                       const FaultConfig& config,
+                                       std::string name,
+                                       std::uint64_t base_seed);
+
 }  // namespace speccc::difftest

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "diag/diag.hpp"
 #include "util/diagnostics.hpp"
 
 namespace speccc::refine {
@@ -26,22 +27,21 @@ bool realizable(const std::vector<Formula>& formulas,
   return result.verdict == synth::Realizability::kRealizable;
 }
 
-}  // namespace
-
-Localization localize(const std::vector<Formula>& requirements,
-                      const synth::IoSignature& signature,
-                      const synth::SynthesisOptions& options) {
-  Localization out;
-
-  // Incremental subset growth: add requirements until the subset turns
-  // unrealizable; the last added formula belongs to the core.
+/// The legacy localization: incremental subset growth (add requirements
+/// until the subset turns unrealizable -- the last added formula belongs
+/// to the core) followed by greedy shrinking. Kept as the difftest
+/// cross-check reference for the diag MUS engine.
+std::vector<std::size_t> greedy_core(const std::vector<Formula>& requirements,
+                                     const synth::IoSignature& signature,
+                                     const synth::SynthesisOptions& options,
+                                     std::size_t& checks) {
   std::vector<Formula> subset;
   std::vector<std::size_t> subset_indices;
   std::size_t breaker = requirements.size();
   for (std::size_t i = 0; i < requirements.size(); ++i) {
     subset.push_back(requirements[i]);
     subset_indices.push_back(i);
-    if (!realizable(subset, signature, options, out.checks)) {
+    if (!realizable(subset, signature, options, checks)) {
       breaker = i;
       break;
     }
@@ -61,15 +61,48 @@ Localization localize(const std::vector<Formula>& requirements,
     for (std::size_t k = 0; k < core.size(); ++k) {
       if (k != drop) trial.push_back(requirements[core[k]]);
     }
-    if (!realizable(trial, signature, options, out.checks)) {
+    if (!realizable(trial, signature, options, checks)) {
       core.erase(core.begin() + static_cast<std::ptrdiff_t>(drop));
     } else {
       ++drop;
     }
   }
-  out.core = core;
+  return core;
+}
+
+}  // namespace
+
+Localization localize(const std::vector<Formula>& requirements,
+                      const synth::IoSignature& signature,
+                      const synth::SynthesisOptions& options,
+                      const LocalizeOptions& localize_options) {
+  Localization out;
+
+  if (localize_options.method == LocalizeOptions::Method::kGreedy) {
+    out.core = greedy_core(requirements, signature, options, out.checks);
+  } else {
+    const diag::CoreOracle oracle =
+        diag::synthesis_oracle(requirements, signature, options);
+    std::vector<std::size_t> universe(requirements.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+    ++out.checks;
+    const auto full = oracle(universe);
+    speccc_check(full.has_value(),
+                 "localize precondition: full specification must be unrealizable");
+    out.core = diag::shrink_mus(*full, oracle, out.checks);
+  }
+
+  if (localize_options.max_correction_sets > 0) {
+    const diag::CoreOracle oracle =
+        diag::synthesis_oracle(requirements, signature, options);
+    std::vector<std::size_t> universe(requirements.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+    out.correction_sets = diag::correction_sets(
+        universe, oracle, localize_options.max_correction_sets, out.checks);
+  }
 
   // Filtering step: requirements sharing propositions with the core.
+  const std::vector<std::size_t>& core = out.core;
   std::set<std::string> core_props;
   for (std::size_t i : core) {
     const auto atoms = requirements[i].atoms();
@@ -88,7 +121,8 @@ Localization localize(const std::vector<Formula>& requirements,
 
 RefinementOutcome refine(const std::vector<Formula>& requirements,
                          const partition::Partition& initial,
-                         const synth::SynthesisOptions& options) {
+                         const synth::SynthesisOptions& options,
+                         const LocalizeOptions& localize_options) {
   RefinementOutcome outcome;
   outcome.partition = initial;
 
@@ -98,7 +132,11 @@ RefinementOutcome refine(const std::vector<Formula>& requirements,
     return outcome;
   }
 
-  outcome.localization = localize(requirements, signature, options);
+  // Correction sets are deferred to the genuinely-inconsistent exit below:
+  // a spec a partition flip rescues never pays for the MaxSAT loop.
+  LocalizeOptions mus_only = localize_options;
+  mus_only.max_correction_sets = 0;
+  outcome.localization = localize(requirements, signature, options, mus_only);
   outcome.checks += outcome.localization.checks;
 
   // Candidate variables: propositions of the core, ranked by occurrence
@@ -144,8 +182,21 @@ RefinementOutcome refine(const std::vector<Formula>& requirements,
   }
 
   // No adjustment helps: genuinely inconsistent (paper V-B bullet 3 -- the
-  // requirements themselves must be modified).
+  // requirements themselves must be modified). Enumerate the minimal
+  // correction sets now, so the diagnosis says which sentence removals
+  // would restore consistency.
   outcome.consistent = false;
+  if (localize_options.max_correction_sets > 0) {
+    const diag::CoreOracle oracle =
+        diag::synthesis_oracle(requirements, signature, options);
+    std::vector<std::size_t> universe(requirements.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+    std::size_t checks = 0;
+    outcome.localization.correction_sets = diag::correction_sets(
+        universe, oracle, localize_options.max_correction_sets, checks);
+    outcome.localization.checks += checks;
+    outcome.checks += checks;
+  }
   return outcome;
 }
 

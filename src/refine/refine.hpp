@@ -3,7 +3,14 @@
 // core, (2) filter the requirements sharing propositions with it, and
 // (3) try adjusting the input/output partition of the implicated variables;
 // only if no adjustment helps is the specification declared genuinely
-// inconsistent (the requirements themselves must change).
+// inconsistent (the requirements themselves must change) -- and then the
+// diag engine enumerates minimal correction sets, the alternative sentence
+// removals that would restore consistency.
+//
+// Localization runs on the diag MUS engine by default (deletion-based
+// shrinking with core jumps); the original incremental-growth + greedy
+// shrink path survives behind LocalizeOptions::Method::kGreedy as the
+// difftest cross-check reference.
 #pragma once
 
 #include <optional>
@@ -17,9 +24,26 @@
 
 namespace speccc::refine {
 
+struct LocalizeOptions {
+  enum class Method {
+    kCores,   // diag::shrink_mus deletion over requirement selectors
+    kGreedy,  // legacy incremental growth + greedy shrink (cross-check path)
+  };
+  Method method = Method::kCores;
+  /// Minimal correction sets to enumerate for genuinely inconsistent
+  /// specifications (0 disables the diag MaxSAT loop). localize() honors
+  /// this directly; refine() defers it until partition adjustment has
+  /// failed, so consistent-after-refinement specs never pay for it.
+  std::size_t max_correction_sets = 0;
+};
+
 struct Localization {
-  /// Indices of a minimal inconsistent requirement subset.
+  /// Indices of a minimal inconsistent requirement subset (MUS).
   std::vector<std::size_t> core;
+  /// Minimal correction sets (diag::correction_sets order: smallest
+  /// first): removing any one restores consistency. Empty unless
+  /// LocalizeOptions::max_correction_sets asked for them.
+  std::vector<std::vector<std::size_t>> correction_sets;
   /// Indices of requirements sharing propositions with the core (the
   /// paper's filtering step) -- includes the core itself.
   std::vector<std::size_t> related;
@@ -27,12 +51,13 @@ struct Localization {
   std::size_t checks = 0;
 };
 
-/// Locate a minimal inconsistent core by incremental subset growth followed
-/// by greedy shrinking (paper V-B bullet 1). Precondition: the full
+/// Locate a minimal inconsistent core (paper V-B bullet 1), by the diag
+/// MUS engine or the legacy greedy path. Precondition: the full
 /// conjunction is unrealizable under `signature`.
 [[nodiscard]] Localization localize(const std::vector<ltl::Formula>& requirements,
                                     const synth::IoSignature& signature,
-                                    const synth::SynthesisOptions& options = {});
+                                    const synth::SynthesisOptions& options = {},
+                                    const LocalizeOptions& localize_options = {});
 
 struct Adjustment {
   std::string variable;
@@ -50,8 +75,11 @@ struct RefinementOutcome {
 /// The full stage-3 loop: localize, then try single-variable partition flips
 /// on the core/related propositions (paper V-B bullet 2). Candidates are
 /// ranked by how often they occur in the core and related requirements.
+/// When no flip helps and max_correction_sets > 0, the outcome's
+/// localization additionally carries the minimal correction sets.
 [[nodiscard]] RefinementOutcome refine(const std::vector<ltl::Formula>& requirements,
                                        const partition::Partition& initial,
-                                       const synth::SynthesisOptions& options = {});
+                                       const synth::SynthesisOptions& options = {},
+                                       const LocalizeOptions& localize_options = {});
 
 }  // namespace speccc::refine

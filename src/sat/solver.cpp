@@ -244,7 +244,55 @@ std::uint64_t Solver::luby(std::uint64_t i) {
   return 1ULL << (k - 1);
 }
 
+void Solver::analyze_final(Lit failed, const std::vector<Lit>& assumptions) {
+  core_.clear();
+  failed_assumptions_.assign(static_cast<std::size_t>(num_vars()), false);
+  // The falsified assumption itself is always part of the core (when it is
+  // false at level 0 the clauses alone entail its negation, and {failed} is
+  // the whole core).
+  failed_assumptions_[failed.var()] = true;
+
+  // Resolution walk (MiniSat's analyzeFinal): seed with the falsified
+  // assumption's variable, then walk the trail top-down replacing every
+  // implied literal by its reason clause until only decisions remain. At
+  // this point every decision on the trail is an assumption decision:
+  // normal decisions are only made once all assumptions hold, and then no
+  // assumption can be found false.
+  if (!trail_limits_.empty()) {
+    seen_[failed.var()] = true;
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= trail_limits_[0];
+         --i) {
+      const Lit p = trail_[static_cast<std::size_t>(i)];
+      if (!seen_[p.var()]) continue;
+      seen_[p.var()] = false;
+      const int reason = vars_[p.var()].reason;
+      if (reason == -1) {
+        failed_assumptions_[p.var()] = true;
+        continue;
+      }
+      for (const Lit q : clauses_[reason].lits) {
+        if (q.var() != p.var() && vars_[q.var()].level > 0) {
+          seen_[q.var()] = true;
+        }
+      }
+    }
+    // The seed may sit at level 0 (below the walk's range); leave seen_
+    // clean for the next analyze().
+    seen_[failed.var()] = false;
+  }
+
+  // Order the core like the assumptions vector: callers treat it as a
+  // pruned copy of their query.
+  for (const Lit a : assumptions) {
+    if (failed_assumptions_[a.var()] &&
+        std::find(core_.begin(), core_.end(), a) == core_.end()) {
+      core_.push_back(a);
+    }
+  }
+}
+
 Result Solver::solve(const std::vector<Lit>& assumptions) {
+  core_.clear();
   failed_assumptions_.assign(static_cast<std::size_t>(num_vars()), false);
   if (unsat_) return Result::kUnsat;
   backtrack(0);
@@ -266,8 +314,6 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         unsat_ = true;
         return Result::kUnsat;
       }
-      // If all decisions so far are assumption decisions, record them as the
-      // failing core approximation.
       Clause learned;
       int backtrack_level = 0;
       analyze(conflict, learned, backtrack_level);
@@ -306,7 +352,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       speccc_check(l.var() < num_vars(), "assumption on unknown variable");
       if (lit_value(l) == Value::kTrue) continue;
       if (lit_value(l) == Value::kFalse) {
-        failed_assumptions_[l.var()] = true;
+        analyze_final(l, assumptions);
         assumption_conflict = true;
         break;
       }

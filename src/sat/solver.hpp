@@ -9,6 +9,19 @@
 // VSIDS-style activity decision heuristic with phase saving, Luby restarts,
 // and solving under assumptions (the hook the optimizer uses for its
 // descending bound search).
+//
+// Assumption cores: when solve(assumptions) returns kUnsat because the
+// assumptions conflict, core() is the failed subset, computed MiniSat-style
+// (analyze_final): a resolution walk from the falsified assumption back
+// through the trail's reason clauses to the assumption decisions it rests
+// on. Cores are ordered like the assumptions vector, so callers (the diag
+// MUS shrinker) can treat them as a pruned copy of their query.
+//
+// Incremental use: the clause database -- including learned clauses -- is
+// never cleared between solve() calls, so a sequence of related
+// assumption queries (the MaxSAT/MCS loop, the descending bound search)
+// reuses everything earlier conflicts taught the solver. Add clauses and
+// variables freely between calls; only add_clause invalidates the model.
 #pragma once
 
 #include <cstdint>
@@ -67,8 +80,14 @@ class Solver {
   /// After kSat: the value assigned to a variable.
   [[nodiscard]] bool value(int var) const;
 
-  /// After kUnsat under assumptions: true if the assumption literal was part
-  /// of the final conflict (a cheap core approximation).
+  /// After kUnsat under assumptions: the subset of the assumptions the
+  /// conflict actually rests on, in assumption order. Asserting exactly
+  /// these literals again yields kUnsat. Empty when the clause set is
+  /// unsatisfiable on its own (no assumption needed).
+  [[nodiscard]] const std::vector<Lit>& core() const { return core_; }
+
+  /// After kUnsat under assumptions: true if the assumption literal is in
+  /// core().
   [[nodiscard]] bool assumption_failed(Lit assumption) const;
 
   /// Statistics, for the benchmark harness.
@@ -102,6 +121,7 @@ class Solver {
   };
 
   [[nodiscard]] Value lit_value(Lit l) const;
+  void analyze_final(Lit failed, const std::vector<Lit>& assumptions);
   void enqueue(Lit l, int reason);
   int propagate();  // returns conflicting clause index or -1
   void analyze(int conflict, Clause& learned, int& backtrack_level);
@@ -121,6 +141,7 @@ class Solver {
   std::size_t queue_head_ = 0;
   double activity_increment_ = 1.0;
   bool unsat_ = false;
+  std::vector<Lit> core_;
   std::vector<bool> failed_assumptions_;
   std::vector<bool> seen_;
   Stats stats_;

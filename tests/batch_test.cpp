@@ -102,6 +102,48 @@ TEST(BatchDeterminism, CacheOnMatchesCacheOffForAllWorkerCounts) {
   }
 }
 
+// The diagnosis acceptance contract: with MCS enumeration on, canonical
+// reports stay byte-identical across worker counts and cache modes over
+// all 22 Table I rows -- MUS and correction sets are input-pure, so they
+// belong inside the canonical form like verdicts do.
+TEST(BatchDeterminism, DiagnosisKeepsCanonicalAcrossJobsAndCacheModes) {
+  const std::vector<batch::SpecTask> tasks = batch::table1_tasks();
+  batch::BatchOptions options;
+  options.pipeline.localization.max_correction_sets = 4;
+  options.jobs = 1;
+  const std::string sequential = batch::canonical(batch::check(tasks, options));
+  // The two refined TELEPROMISE rows surface their MUS in the canonical
+  // report even though refinement rescued them (mcs= stays reserved for
+  // genuinely inconsistent specs).
+  EXPECT_NE(sequential.find(" mus="), std::string::npos);
+  EXPECT_EQ(sequential.find(" mcs="), std::string::npos);
+  for (const int jobs : {4, 8}) {
+    options.jobs = jobs;
+    EXPECT_EQ(batch::canonical(batch::check(tasks, options)), sequential)
+        << "jobs=" << jobs;
+  }
+  options.pipeline.cache = std::make_shared<speccc::cache::Store>();
+  for (const int jobs : {1, 4, 8}) {
+    options.jobs = jobs;
+    EXPECT_EQ(batch::canonical(batch::check(tasks, options)), sequential)
+        << "cached jobs=" << jobs;
+  }
+}
+
+// Diagnosis output never changes verdicts: the canonical report with
+// enumeration on equals the plain report once the diagnosis fields are
+// the only difference -- over Table I they are not even that, because all
+// 22 rows are consistent (the CLI smoke in scripts/check.sh diffs the two
+// full reports for exactly this reason).
+TEST(BatchDeterminism, DiagnosisOverConsistentCorpusMatchesPlainReport) {
+  const std::vector<batch::SpecTask> tasks = batch::table1_tasks();
+  const std::string plain = batch::canonical(run_with_jobs(tasks, 2));
+  batch::BatchOptions options;
+  options.jobs = 2;
+  options.pipeline.localization.max_correction_sets = 4;
+  EXPECT_EQ(batch::canonical(batch::check(tasks, options)), plain);
+}
+
 // A second batch over a warm shared store answers from the cache (the
 // cross-batch reuse the revision workflow relies on) without changing a
 // byte of the canonical report.

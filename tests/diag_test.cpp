@@ -1,0 +1,358 @@
+// Tests for the diagnosis engine (diag/diag.hpp): deletion-based MUS
+// shrinking and the rotation/grow MCS enumeration, over both oracles --
+// sat_group_oracle (incremental assumption cores, brute-force verified)
+// and synthesis_oracle (planted-fault specs where the ground-truth MUSes
+// are known by construction) -- plus pinned end-to-end pipeline diagnoses
+// of the hand-written multi-fault specs in examples/specs/faults/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "corpus/loaders.hpp"
+#include "diag/diag.hpp"
+#include "difftest/harness.hpp"
+#include "difftest/oracle.hpp"
+#include "sat/solver.hpp"
+#include "util/diagnostics.hpp"
+
+namespace diag = speccc::diag;
+namespace difftest = speccc::difftest;
+namespace sat = speccc::sat;
+
+namespace {
+
+using Index = std::size_t;
+using Subset = std::vector<Index>;
+
+Subset without(const Subset& set, Index element) {
+  Subset out;
+  for (Index e : set) {
+    if (e != element) out.push_back(e);
+  }
+  return out;
+}
+
+Subset universe_of(std::size_t n) {
+  Subset out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
+  return out;
+}
+
+// A group CNF instance: groups of clauses enabled per-group by selector
+// assumptions, the classic MUS-extraction encoding.
+struct GroupInstance {
+  std::vector<std::vector<sat::Clause>> groups;
+  sat::Solver solver;
+  std::vector<sat::Lit> selectors;
+
+  explicit GroupInstance(std::vector<std::vector<sat::Clause>> g, int num_vars)
+      : groups(std::move(g)) {
+    for (int v = 0; v < num_vars; ++v) solver.new_var();
+    for (const auto& group : groups) {
+      const sat::Lit selector(solver.new_var(), true);
+      selectors.push_back(selector);
+      for (sat::Clause clause : group) {
+        clause.push_back(selector.negated());  // selector -> clause
+        solver.add_clause(std::move(clause));
+      }
+    }
+  }
+};
+
+// Independent consistency check: a fresh solver with only the chosen
+// groups' clauses asserted outright -- no selectors, no shared learned
+// clauses -- so the incremental oracle is verified against first
+// principles, not against itself.
+bool brute_force_consistent(const std::vector<std::vector<sat::Clause>>& groups,
+                            int num_vars, const Subset& subset) {
+  sat::Solver fresh;
+  for (int v = 0; v < num_vars; ++v) fresh.new_var();
+  for (Index g : subset) {
+    for (const sat::Clause& clause : groups[g]) fresh.add_clause(clause);
+  }
+  return fresh.solve() == sat::Result::kSat;
+}
+
+sat::Lit lit(int var, bool positive) { return sat::Lit(var, positive); }
+
+TEST(Diagnose, ConsistentGroupsYieldAnEmptyDiagnosis) {
+  // x, y, x || y: jointly satisfiable.
+  GroupInstance inst({{{lit(0, true)}}, {{lit(1, true)}},
+                      {{lit(0, true), lit(1, true)}}},
+                     2);
+  const auto oracle = diag::sat_group_oracle(inst.solver, inst.selectors);
+  const diag::Diagnosis d = diag::diagnose(inst.groups.size(), oracle);
+  EXPECT_TRUE(d.consistent());
+  EXPECT_TRUE(d.mus.empty());
+  EXPECT_TRUE(d.correction_sets.empty());
+  EXPECT_EQ(d.checks, 1u);  // one universe query settles it
+}
+
+TEST(Diagnose, PinsTheContradictoryGroupPair) {
+  // Groups: {x}, {!x}, {y}, {x || y}. The only MUS is {0, 1}; the two
+  // repairs are dropping either unit.
+  GroupInstance inst({{{lit(0, true)}},
+                      {{lit(0, false)}},
+                      {{lit(1, true)}},
+                      {{lit(0, true), lit(1, true)}}},
+                     2);
+  const auto oracle = diag::sat_group_oracle(inst.solver, inst.selectors);
+  const diag::Diagnosis d = diag::diagnose(inst.groups.size(), oracle);
+  EXPECT_FALSE(d.consistent());
+  EXPECT_EQ(d.mus, (Subset{0, 1}));
+  EXPECT_EQ(d.correction_sets,
+            (std::vector<Subset>{{0}, {1}}));
+}
+
+TEST(Diagnose, CoreJumpsPruneInnocentGroups) {
+  // Eight innocent tautologies around one contradiction: the solver's
+  // assumption core should let the shrinker jump straight past the
+  // bystanders instead of deleting them one by one.
+  std::vector<std::vector<sat::Clause>> groups;
+  for (int v = 1; v <= 8; ++v) groups.push_back({{lit(v, true)}});
+  groups.push_back({{lit(0, true)}});
+  groups.push_back({{lit(0, false)}});
+  GroupInstance inst(std::move(groups), 9);
+  const auto oracle = diag::sat_group_oracle(inst.solver, inst.selectors);
+  diag::Options options;
+  options.max_correction_sets = 0;  // measure the MUS extraction alone
+  const diag::Diagnosis d = diag::diagnose(inst.groups.size(), oracle, options);
+  EXPECT_EQ(d.mus, (Subset{8, 9}));
+  // 1 universe query + at most 2 per MUS element; without core jumps the
+  // deletion loop alone would need 10+ calls.
+  EXPECT_LE(d.checks, 1u + 2u * d.mus.size() + 2u);
+}
+
+TEST(Diagnose, RandomGroupInstancesSatisfyTheMusAndMcsProperties) {
+  // Random group CNF sweep, every diagnosis verified against a fresh
+  // non-incremental solver: the MUS is inconsistent and minimal, every
+  // MCS's removal restores consistency and is minimal.
+  int inconsistent_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    speccc::util::Rng rng(seed * 0x9e3779b97f4a7c15ULL);
+    const int num_vars = rng.range(3, 5);
+    const int num_groups = rng.range(3, 8);
+    std::vector<std::vector<sat::Clause>> groups;
+    for (int g = 0; g < num_groups; ++g) {
+      std::vector<sat::Clause> group;
+      const int num_clauses = rng.range(1, 2);
+      for (int c = 0; c < num_clauses; ++c) {
+        sat::Clause clause;
+        const int width = rng.range(1, 3);
+        for (int k = 0; k < width; ++k) {
+          clause.push_back(lit(rng.range(0, num_vars - 1), rng.chance(1, 2)));
+        }
+        group.push_back(std::move(clause));
+      }
+      groups.push_back(std::move(group));
+    }
+
+    GroupInstance inst(groups, num_vars);
+    const auto oracle = diag::sat_group_oracle(inst.solver, inst.selectors);
+    diag::Options options;
+    options.max_correction_sets = 3;
+    const diag::Diagnosis d =
+        diag::diagnose(groups.size(), oracle, options);
+    const Subset universe = universe_of(groups.size());
+
+    if (d.consistent()) {
+      EXPECT_TRUE(brute_force_consistent(groups, num_vars, universe))
+          << "seed " << seed;
+      continue;
+    }
+    ++inconsistent_seen;
+    EXPECT_FALSE(brute_force_consistent(groups, num_vars, d.mus))
+        << "seed " << seed << ": reported MUS is consistent";
+    for (Index e : d.mus) {
+      EXPECT_TRUE(brute_force_consistent(groups, num_vars, without(d.mus, e)))
+          << "seed " << seed << ": MUS not minimal at element " << e;
+    }
+    EXPECT_FALSE(d.correction_sets.empty()) << "seed " << seed;
+    for (const Subset& mcs : d.correction_sets) {
+      Subset rest = universe;
+      for (Index e : mcs) rest = without(rest, e);
+      EXPECT_TRUE(brute_force_consistent(groups, num_vars, rest))
+          << "seed " << seed << ": removing the MCS does not repair";
+      for (Index e : mcs) {
+        // Minimality: putting any MCS element back breaks it again.
+        Subset back = rest;
+        back.insert(std::lower_bound(back.begin(), back.end(), e), e);
+        EXPECT_FALSE(brute_force_consistent(groups, num_vars, back))
+            << "seed " << seed << ": MCS not minimal at element " << e;
+      }
+    }
+  }
+  // The sweep must actually exercise the inconsistent path to have teeth.
+  EXPECT_GE(inconsistent_seen, 5);
+}
+
+TEST(SynthesisOracle, PlantedFaultSpecsShrinkToExactlyOnePlantedFault) {
+  // Ground-truth workload: every planted fault uses fresh vocabulary
+  // disjoint from the base spec and the other faults, so each MUS of the
+  // spec is exactly one planted index set (difftest/random.hpp). The
+  // heavy sweep lives in difftest_test; this is the fast tier-1 slice.
+  for (const auto& [seed, index] : {std::pair<std::uint64_t, int>{1, 0},
+                                    {1, 1},
+                                    {2, 0},
+                                    {2, 1}}) {
+    const difftest::PlantedSpec spec =
+        difftest::generated_planted_spec(seed, index);
+    ASSERT_GE(spec.faults.size(), 2u);
+    const difftest::SpecCase sc = difftest::build_spec_case(spec.requirements);
+    const auto oracle = diag::synthesis_oracle(sc.requirements, sc.signature);
+
+    const Subset universe = universe_of(sc.requirements.size());
+    const auto full = oracle(universe);
+    ASSERT_TRUE(full.has_value())
+        << spec.name << ": planted spec not inconsistent";
+
+    std::size_t checks = 0;
+    const Subset mus = diag::shrink_mus(*full, oracle, checks);
+    EXPECT_NE(std::find(spec.faults.begin(), spec.faults.end(), mus),
+              spec.faults.end())
+        << spec.name << ": MUS is not a planted fault";
+    for (Index e : mus) {
+      EXPECT_FALSE(oracle(without(mus, e)).has_value())
+          << spec.name << ": MUS not minimal at element " << e;
+    }
+  }
+}
+
+TEST(SynthesisOracle, CorrectionSetRemovalRestoresConsistency) {
+  const difftest::PlantedSpec spec = difftest::generated_planted_spec(3, 0);
+  const difftest::SpecCase sc = difftest::build_spec_case(spec.requirements);
+  const auto oracle = diag::synthesis_oracle(sc.requirements, sc.signature);
+  const Subset universe = universe_of(sc.requirements.size());
+  ASSERT_TRUE(oracle(universe).has_value());
+
+  std::size_t checks = 0;
+  const auto sets = diag::correction_sets(universe, oracle, 2, checks);
+  ASSERT_FALSE(sets.empty());
+  for (const Subset& mcs : sets) {
+    Subset rest = universe;
+    for (Index e : mcs) rest = without(rest, e);
+    EXPECT_FALSE(oracle(rest).has_value())
+        << spec.name << ": MCS removal must restore consistency";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pinned end-to-end diagnoses of the hand-written multi-fault specs. The
+// sentences mirror examples/specs/faults/*.txt (which scripts/check.sh
+// smokes through the CLI); the pins here are the library-level contract.
+
+std::vector<std::string> ids_of(const speccc::core::PipelineResult& result,
+                                const Subset& indices) {
+  std::vector<std::string> out;
+  for (Index i : indices) {
+    out.push_back(result.translation.requirements.at(i).id);
+  }
+  return out;
+}
+
+speccc::core::PipelineResult diagnose_spec(const std::string& name,
+                                           const std::string& document) {
+  speccc::core::PipelineOptions options;
+  options.localization.max_correction_sets = 4;
+  const speccc::core::Pipeline pipeline(options);
+  std::istringstream in(document);
+  return pipeline.run(name, speccc::corpus::load_requirements(in));
+}
+
+TEST(PipelineDiagnosis, PinsThePumpInterlockDiagnosis) {
+  const auto result = diagnose_spec("pump_interlock",
+      "R1: If the start button is pressed, the pump is activated.\n"
+      "R2: If the pressure sensor is detected, the alarm is raised.\n"
+      "R3: If the start button is pressed, the status light is updated.\n"
+      "R4: If the leak detector is detected, the drain valve is activated.\n"
+      "R5: If the pressure sensor is detected, the alarm is not raised.\n"
+      "R6: When the mode button is pressed, eventually the monitor light is "
+      "activated.\n"
+      "R7: If the leak detector is detected, the drain valve is not "
+      "activated.\n");
+  EXPECT_FALSE(result.consistent);
+  ASSERT_TRUE(result.refinement.has_value());
+  const auto& loc = result.refinement->localization;
+  EXPECT_EQ(ids_of(result, loc.core),
+            (std::vector<std::string>{"R4", "R7"}));
+  ASSERT_EQ(loc.correction_sets.size(), 4u);
+  EXPECT_EQ(ids_of(result, loc.correction_sets[0]),
+            (std::vector<std::string>{"R2", "R4"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[1]),
+            (std::vector<std::string>{"R2", "R7"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[2]),
+            (std::vector<std::string>{"R4", "R5"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[3]),
+            (std::vector<std::string>{"R5", "R7"}));
+}
+
+TEST(PipelineDiagnosis, PinsTheReservationDiagnosis) {
+  // Fault A is the 3-sentence chain R1+R2+R3 (pairwise consistent,
+  // jointly inconsistent); fault B the direct contradiction R4 vs R5.
+  const auto result = diagnose_spec("reservation",
+      "R1: If the booking request is received, the ticket is issued.\n"
+      "R2: If the ticket is issued, the confirmation message is sent.\n"
+      "R3: If the booking request is received, the confirmation message is "
+      "not sent.\n"
+      "R4: If the cancel button is pressed, the refund notice is displayed.\n"
+      "R5: If the cancel button is pressed, the refund notice is not "
+      "displayed.\n"
+      "R6: If the payment card is detected, the receipt record is stored.\n");
+  EXPECT_FALSE(result.consistent);
+  ASSERT_TRUE(result.refinement.has_value());
+  const auto& loc = result.refinement->localization;
+  EXPECT_EQ(ids_of(result, loc.core),
+            (std::vector<std::string>{"R4", "R5"}));
+  ASSERT_EQ(loc.correction_sets.size(), 4u);
+  EXPECT_EQ(ids_of(result, loc.correction_sets[0]),
+            (std::vector<std::string>{"R1", "R5"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[1]),
+            (std::vector<std::string>{"R2", "R5"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[2]),
+            (std::vector<std::string>{"R3", "R4"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[3]),
+            (std::vector<std::string>{"R3", "R5"}));
+}
+
+TEST(PipelineDiagnosis, PinsTheVentMonitorDiagnosis) {
+  const auto result = diagnose_spec("vent_monitor",
+      "R1: If the heat sensor is detected, the cooling fan is activated.\n"
+      "R2: If the heat sensor is detected, the cooling fan is not "
+      "activated.\n"
+      "R3: If the test button is pressed, the status report is displayed in "
+      "10 seconds.\n"
+      "R4: When the power switch is pressed, eventually the standby light is "
+      "activated.\n"
+      "R5: If the smoke detector is detected, the vent flap is activated.\n"
+      "R6: If the smoke detector is detected, the vent flap is not "
+      "activated.\n");
+  EXPECT_FALSE(result.consistent);
+  ASSERT_TRUE(result.refinement.has_value());
+  const auto& loc = result.refinement->localization;
+  EXPECT_EQ(ids_of(result, loc.core),
+            (std::vector<std::string>{"R5", "R6"}));
+  // The rotation search found three distinct repairs here (cap is 4).
+  ASSERT_EQ(loc.correction_sets.size(), 3u);
+  EXPECT_EQ(ids_of(result, loc.correction_sets[0]),
+            (std::vector<std::string>{"R1", "R6"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[1]),
+            (std::vector<std::string>{"R2", "R5"}));
+  EXPECT_EQ(ids_of(result, loc.correction_sets[2]),
+            (std::vector<std::string>{"R2", "R6"}));
+}
+
+TEST(PipelineDiagnosis, ConsistentSpecCarriesNoDiagnosis) {
+  const auto result = diagnose_spec("all_fine",
+      "R1: If the start button is pressed, the pump is activated.\n"
+      "R2: If the stop button is pressed, the status light is updated.\n");
+  EXPECT_TRUE(result.consistent);
+  EXPECT_FALSE(result.refinement.has_value());
+}
+
+}  // namespace

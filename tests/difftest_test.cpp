@@ -11,12 +11,14 @@
 #include <string>
 #include <vector>
 
+#include "diag/diag.hpp"
 #include "difftest/harness.hpp"
 #include "difftest/oracle.hpp"
 #include "difftest/random.hpp"
 #include "difftest/shrink.hpp"
 #include "ltl/parser.hpp"
 #include "ltl/trace.hpp"
+#include "refine/refine.hpp"
 #include "util/diagnostics.hpp"
 
 namespace difftest = speccc::difftest;
@@ -314,6 +316,96 @@ TEST(Harness, PinnedPreviouslySlowSeedStaysCleanAndFast) {
   EXPECT_EQ(report.specs_checked, 1);
   EXPECT_TRUE(report.ok()) << difftest::describe(report);
 }
+
+// ---- Planted-fault localization oracle --------------------------------------
+
+std::string describe_planted(const difftest::PlantedSpec& spec,
+                             std::uint64_t seed, int index) {
+  std::string out = spec.name + " (generated_planted_spec(" +
+                    std::to_string(seed) + ", " + std::to_string(index) +
+                    "))\n";
+  for (std::size_t i = 0; i < spec.requirements.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + spec.requirements[i].id + ": " +
+           spec.requirements[i].text + "\n";
+  }
+  out += "  planted faults:";
+  for (const auto& fault : spec.faults) {
+    out += " {";
+    for (std::size_t k = 0; k < fault.size(); ++k) {
+      out += (k != 0U ? "," : "") + std::to_string(fault[k]);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+bool is_superset_of_some_fault(const std::vector<std::size_t>& blamed,
+                               const difftest::PlantedSpec& spec) {
+  for (const auto& fault : spec.faults) {
+    if (std::includes(blamed.begin(), blamed.end(), fault.begin(),
+                      fault.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The ground-truth acceptance bar for the diag localization engine: over
+// >= 50 planted-fault specs per seed, every spec is genuinely
+// inconsistent, the MUS the cores path reports is verified
+// minimal-inconsistent and is exactly one of the planted fault sets
+// (faults use fresh disjoint vocabulary, so those are the only MUSes),
+// and the legacy greedy path -- kept behind LocalizeOptions::kGreedy for
+// exactly this cross-check -- blames a planted fault too.
+class PlantedFaultTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlantedFaultTest, LocalizationFindsAPlantedFaultOnEverySpec) {
+  const std::uint64_t seed = GetParam();
+  constexpr int kSpecs = 50;
+  for (int index = 0; index < kSpecs; ++index) {
+    const difftest::PlantedSpec spec =
+        difftest::generated_planted_spec(seed, index);
+    ASSERT_GE(spec.faults.size(), 2u);
+    const difftest::SpecCase sc = difftest::build_spec_case(spec.requirements);
+    const auto oracle =
+        speccc::diag::synthesis_oracle(sc.requirements, sc.signature);
+
+    std::vector<std::size_t> universe(sc.requirements.size());
+    for (std::size_t i = 0; i < universe.size(); ++i) universe[i] = i;
+    ASSERT_TRUE(oracle(universe).has_value())
+        << "planted spec not inconsistent\n"
+        << describe_planted(spec, seed, index);
+
+    speccc::refine::LocalizeOptions cores;
+    cores.method = speccc::refine::LocalizeOptions::Method::kCores;
+    const auto mus_loc =
+        speccc::refine::localize(sc.requirements, sc.signature, {}, cores);
+    EXPECT_NE(std::find(spec.faults.begin(), spec.faults.end(), mus_loc.core),
+              spec.faults.end())
+        << "MUS is not a planted fault set\n"
+        << describe_planted(spec, seed, index);
+    for (std::size_t e : mus_loc.core) {
+      std::vector<std::size_t> dropped;
+      for (std::size_t x : mus_loc.core) {
+        if (x != e) dropped.push_back(x);
+      }
+      EXPECT_FALSE(oracle(dropped).has_value())
+          << "MUS not minimal at element " << e << "\n"
+          << describe_planted(spec, seed, index);
+    }
+
+    speccc::refine::LocalizeOptions greedy;
+    greedy.method = speccc::refine::LocalizeOptions::Method::kGreedy;
+    const auto greedy_loc =
+        speccc::refine::localize(sc.requirements, sc.signature, {}, greedy);
+    EXPECT_TRUE(is_superset_of_some_fault(greedy_loc.core, spec))
+        << "greedy core does not cover any planted fault\n"
+        << describe_planted(spec, seed, index);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedFaultTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
 TEST(Harness, SingleCaseReplayReproducesTheFailure) {
   difftest::RunOptions options;

@@ -33,6 +33,17 @@
 //                      stage boundaries (expired tasks: budget-exhausted)
 //   --crosscheck       re-decide each spec with both synthesis engines and
 //                      report substrate agreement
+//   --diagnose         enumerate minimal correction sets for genuinely
+//                      inconsistent specs (up to 4; see below). The MUS
+//                      ("mus=" in canonical output, "conflicting
+//                      sentences" in the summary) is always reported when
+//                      refinement ran; --diagnose adds the "mcs=" /
+//                      "fix by removing" alternatives. Diagnosis output is
+//                      input-pure and canonical: it never changes verdicts
+//                      or exit codes, and stays byte-identical across
+//                      --jobs counts and cache modes
+//   --max-correction-sets N
+//                      cap the enumeration at N sets (implies --diagnose)
 //   --strict-next      translate "next" as a real X operator
 //   --cache            share a cross-spec memoization store (cache/store.hpp)
 //                      across the batch: repeated sentences and formulas are
@@ -84,7 +95,9 @@ int usage() {
          "                    [--corpus cara|tele|robot|table1]\n"
          "                    [--generate N] [--seed S] [--jobs N]\n"
          "                    [--json FILE] [--canonical] [--time-budget S]\n"
-         "                    [--crosscheck] [--strict-next] [--quiet]\n"
+         "                    [--crosscheck] [--diagnose]\n"
+         "                    [--max-correction-sets N]\n"
+         "                    [--strict-next] [--quiet]\n"
          "                    [--cache] [--cache-max N] [--cache-stats]\n";
   return 1;
 }
@@ -180,6 +193,18 @@ int main(int argc, char** argv) {
         options.task_time_budget_seconds = std::atof(next_arg().c_str());
       } else if (arg == "--crosscheck") {
         options.check_agreement = true;
+      } else if (arg == "--diagnose") {
+        if (options.pipeline.localization.max_correction_sets == 0) {
+          options.pipeline.localization.max_correction_sets = 4;
+        }
+      } else if (arg == "--max-correction-sets") {
+        const long long n = std::atoll(next_arg().c_str());
+        if (n < 1) {
+          std::cerr << "--max-correction-sets must be at least 1\n";
+          return usage();
+        }
+        options.pipeline.localization.max_correction_sets =
+            static_cast<std::size_t>(n);
       } else if (arg == "--strict-next") {
         options.pipeline.translation.next_mode = translate::NextMode::kStrict;
       } else if (arg == "--cache") {
