@@ -92,3 +92,28 @@ if [[ -x "$batch_bin" ]]; then
 else
   echo "note: $batch_bin not built (SPECCC_BUILD_TOOLS=OFF?); smoke skipped"
 fi
+
+# Serve smoke: daemon up on an ephemeral port, a short soak through the
+# NDJSON protocol, verdict parity with speccc_batch byte-for-byte, then a
+# SIGTERM drain that must exit 0 (tools/speccc_serve's contract).
+serve_bin="$build_dir/tools/speccc_serve"
+load_bin="$build_dir/tools/speccc_load"
+if [[ -x "$serve_bin" && -x "$load_bin" && -x "$batch_bin" ]]; then
+  echo "speccc_serve smoke (soak + canonical parity + SIGTERM drain)"
+  port_file="$build_dir/serve-smoke.port"
+  rm -f "$port_file"
+  "$serve_bin" --port 0 --port-file "$port_file" --workers "$batch_jobs" --quiet &
+  serve_pid=$!
+  for _ in $(seq 1 100); do [[ -s "$port_file" ]] && break; sleep 0.1; done
+  "$load_bin" --port-file "$port_file" --generate 12 --seed 3 --requests 24 \
+    --connections 2 --deadline-ms 300 --deadline-fraction 0.5 --quiet
+  "$load_bin" --port-file "$port_file" --generate 12 --seed 3 \
+    --connections 2 --canonical-out "$build_dir/serve-smoke-canonical.txt" --quiet
+  "$batch_bin" --generate 12 --seed 3 --jobs "$batch_jobs" --quiet --canonical \
+    > "$build_dir/serve-smoke-batch.txt"
+  diff "$build_dir/serve-smoke-batch.txt" "$build_dir/serve-smoke-canonical.txt"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid"
+else
+  echo "note: $serve_bin not built (SPECCC_BUILD_TOOLS=OFF?); serve smoke skipped"
+fi

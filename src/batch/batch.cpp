@@ -133,93 +133,104 @@ AgreementStats check_substrates(const core::PipelineResult& pipeline_result,
   return stats;
 }
 
-class Worker {
- public:
-  Worker(std::size_t id, const BatchOptions& options)
-      : id_(id), options_(options), budget_(std::make_shared<BudgetState>()) {
-    budget_->budget_seconds = options.task_time_budget_seconds;
-    budget_->cancel = options.cancel;
+}  // namespace
 
-    core::PipelineOptions pipeline_options = options.pipeline;
-    const std::shared_ptr<BudgetState> budget = budget_;
-    pipeline_options.cancelled = [budget] { return budget->expired(); };
-    pipeline_ = std::make_unique<core::Pipeline>(std::move(pipeline_options));
-  }
+struct TaskRunner::Impl {
+  int id;
+  RunnerOptions options;
+  std::shared_ptr<BudgetState> budget;
+  std::unique_ptr<core::Pipeline> pipeline;
+};
 
-  TaskResult run(const SpecTask& task) {
-    TaskResult result;
-    result.name = task.name;
-    result.worker = static_cast<int>(id_);
+TaskRunner::TaskRunner(int worker_id, const RunnerOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->id = worker_id;
+  impl_->options = options;
+  impl_->budget = std::make_shared<BudgetState>();
 
-    if (budget_->externally_cancelled()) {
-      result.status = TaskStatus::kCancelled;
-      result.detail = "batch cancelled before the task started";
-      return result;
-    }
+  core::PipelineOptions pipeline_options = options.pipeline;
+  const std::shared_ptr<BudgetState> budget = impl_->budget;
+  pipeline_options.cancelled = [budget] { return budget->expired(); };
+  impl_->pipeline = std::make_unique<core::Pipeline>(std::move(pipeline_options));
+}
 
-    budget_->clock.reset();
-    util::Stopwatch task_clock;
-    try {
-      const core::PipelineResult pipeline_result =
-          pipeline_->run(task.name, task.requirements);
-      result.status = pipeline_result.consistent ? TaskStatus::kConsistent
-                                                 : TaskStatus::kInconsistent;
-      result.formulas = pipeline_result.num_formulas();
-      result.inputs = pipeline_result.num_inputs();
-      result.outputs = pipeline_result.num_outputs();
-      result.refined = pipeline_result.refinement.has_value() &&
-                       pipeline_result.refinement->consistent;
-      result.unsatisfiable_requirements =
-          pipeline_result.unsatisfiable_requirements;
-      if (pipeline_result.refinement.has_value()) {
-        // Map localization indices onto requirement ids: the diagnosis the
-        // user reads names sentences, not positions.
-        const auto& requirements = pipeline_result.translation.requirements;
-        const auto id_of = [&requirements](std::size_t i) {
-          return i < requirements.size() ? requirements[i].id
-                                         : "#" + std::to_string(i);
-        };
-        const refine::Localization& loc =
-            pipeline_result.refinement->localization;
-        for (std::size_t i : loc.core) result.mus.push_back(id_of(i));
-        for (const auto& mcs : loc.correction_sets) {
-          std::vector<std::string> ids;
-          ids.reserve(mcs.size());
-          for (std::size_t i : mcs) ids.push_back(id_of(i));
-          result.correction_sets.push_back(std::move(ids));
-        }
-      }
-      result.translation_seconds = pipeline_result.translation_seconds;
-      result.synthesis_seconds = pipeline_result.synthesis_seconds;
-      result.refinement_seconds = pipeline_result.refinement_seconds;
-      if (pipeline_result.synthesis.engine_used == synth::Engine::kSymbolic) {
-        result.bdd = pipeline_result.synthesis.bdd_stats;
-      }
-      if (options_.check_agreement) {
-        result.agreement =
-            check_substrates(pipeline_result, options_.agreement_bounded);
-      }
-    } catch (const util::CancelledError& e) {
-      result.status = budget_->externally_cancelled()
-                          ? TaskStatus::kCancelled
-                          : TaskStatus::kBudgetExhausted;
-      result.detail = e.what();
-    } catch (const std::exception& e) {
-      result.status = TaskStatus::kError;
-      result.detail = e.what();
-    }
-    result.seconds = task_clock.seconds();
+TaskRunner::~TaskRunner() = default;
+
+TaskResult TaskRunner::run(const SpecTask& task, const RunLimits& limits) {
+  BudgetState& budget = *impl_->budget;
+  budget.budget_seconds = limits.budget_seconds;
+  budget.cancel = limits.cancel;
+
+  TaskResult result;
+  result.name = task.name;
+  result.worker = impl_->id;
+
+  if (budget.externally_cancelled()) {
+    result.status = TaskStatus::kCancelled;
+    result.detail = "cancelled before the task started";
     return result;
   }
 
- private:
-  std::size_t id_;
-  const BatchOptions& options_;
-  std::shared_ptr<BudgetState> budget_;
-  std::unique_ptr<core::Pipeline> pipeline_;
-};
+  const bool track_cache = impl_->options.pipeline.cache != nullptr;
+  const cache::StatsSnapshot cache_before =
+      track_cache ? cache::Store::thread_stats() : cache::StatsSnapshot{};
 
-}  // namespace
+  budget.clock.reset();
+  util::Stopwatch task_clock;
+  try {
+    const core::PipelineResult pipeline_result =
+        impl_->pipeline->run(task.name, task.requirements);
+    result.status = pipeline_result.consistent ? TaskStatus::kConsistent
+                                               : TaskStatus::kInconsistent;
+    result.formulas = pipeline_result.num_formulas();
+    result.inputs = pipeline_result.num_inputs();
+    result.outputs = pipeline_result.num_outputs();
+    result.refined = pipeline_result.refinement.has_value() &&
+                     pipeline_result.refinement->consistent;
+    result.unsatisfiable_requirements =
+        pipeline_result.unsatisfiable_requirements;
+    if (pipeline_result.refinement.has_value()) {
+      // Map localization indices onto requirement ids: the diagnosis the
+      // user reads names sentences, not positions.
+      const auto& requirements = pipeline_result.translation.requirements;
+      const auto id_of = [&requirements](std::size_t i) {
+        return i < requirements.size() ? requirements[i].id
+                                       : "#" + std::to_string(i);
+      };
+      const refine::Localization& loc =
+          pipeline_result.refinement->localization;
+      for (std::size_t i : loc.core) result.mus.push_back(id_of(i));
+      for (const auto& mcs : loc.correction_sets) {
+        std::vector<std::string> ids;
+        ids.reserve(mcs.size());
+        for (std::size_t i : mcs) ids.push_back(id_of(i));
+        result.correction_sets.push_back(std::move(ids));
+      }
+    }
+    result.translation_seconds = pipeline_result.translation_seconds;
+    result.synthesis_seconds = pipeline_result.synthesis_seconds;
+    result.refinement_seconds = pipeline_result.refinement_seconds;
+    if (pipeline_result.synthesis.engine_used == synth::Engine::kSymbolic) {
+      result.bdd = pipeline_result.synthesis.bdd_stats;
+    }
+    if (impl_->options.check_agreement) {
+      result.agreement =
+          check_substrates(pipeline_result, impl_->options.agreement_bounded);
+    }
+  } catch (const util::CancelledError& e) {
+    result.status = budget.externally_cancelled() ? TaskStatus::kCancelled
+                                                  : TaskStatus::kBudgetExhausted;
+    result.detail = e.what();
+  } catch (const std::exception& e) {
+    result.status = TaskStatus::kError;
+    result.detail = e.what();
+  }
+  result.seconds = task_clock.seconds();
+  if (track_cache) {
+    result.cache = cache::Store::thread_stats().since(cache_before);
+  }
+  return result;
+}
 
 double BatchReport::cpu_seconds() const {
   double total = 0.0;
@@ -251,12 +262,20 @@ BatchReport check(const std::vector<SpecTask>& tasks,
   std::mutex report_mutex;  // guards results slots' publication + on_result
   std::atomic<std::size_t> total_steals{0};
 
+  RunnerOptions runner_options;
+  runner_options.pipeline = options.pipeline;
+  runner_options.check_agreement = options.check_agreement;
+  runner_options.agreement_bounded = options.agreement_bounded;
+  RunLimits limits;
+  limits.budget_seconds = options.task_time_budget_seconds;
+  limits.cancel = options.cancel;
+
   const auto worker_loop = [&](std::size_t worker_id) {
-    Worker worker(worker_id, options);
+    TaskRunner worker(static_cast<int>(worker_id), runner_options);
     std::size_t index = 0;
     std::size_t steals = 0;
     while (queues.next(worker_id, index, steals)) {
-      TaskResult result = worker.run(tasks[index]);
+      TaskResult result = worker.run(tasks[index], limits);
       std::lock_guard<std::mutex> lock(report_mutex);
       report.results[index] = std::move(result);
       if (options.on_result) options.on_result(report.results[index]);
@@ -371,6 +390,12 @@ std::string json_escape(const std::string& s) {
 std::string canonical(const BatchReport& report) {
   std::ostringstream os;
   for (const TaskResult& r : report.results) canonical_result(os, r);
+  return os.str();
+}
+
+std::string canonical_line(const TaskResult& result) {
+  std::ostringstream os;
+  canonical_result(os, result);
   return os.str();
 }
 

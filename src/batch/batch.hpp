@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,12 @@ struct TaskResult {
   std::vector<std::vector<std::string>> correction_sets;
   AgreementStats agreement;
   // Diagnostics (excluded from the canonical form):
+  /// Per-task cache accounting (thread-local deltas, see
+  /// cache::Store::thread_stats()): exact hits/misses/evictions this task
+  /// caused, meaningful only when the pipeline ran with a store attached.
+  /// Diagnostics like the timings -- two workers racing on a miss make
+  /// these input-impure.
+  cache::StatsSnapshot cache;
   double seconds = 0.0;  // whole-task wall clock on its worker
   double translation_seconds = 0.0;
   double synthesis_seconds = 0.0;
@@ -115,6 +122,55 @@ struct BddAggregate {
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
   std::size_t cache_evictions = 0;
+};
+
+/// Configuration of one warm task-execution engine (TaskRunner below):
+/// the per-worker slice of BatchOptions, reused by the serve worker pool.
+struct RunnerOptions {
+  /// Pipeline configuration. PipelineOptions::cancelled is overwritten by
+  /// the runner (it carries the budget/cancel polling); cache, when set,
+  /// may be shared across runners (the store is thread-safe).
+  core::PipelineOptions pipeline;
+  /// Re-decide every spec with both synthesis engines and record
+  /// agreement (see BatchOptions::check_agreement).
+  bool check_agreement = false;
+  /// Caps for the agreement pass's bounded run.
+  synth::BoundedOptions agreement_bounded = {.max_k = 4,
+                                             .extract = false,
+                                             .max_game_positions = 20'000,
+                                             .max_ucw_states = 150};
+};
+
+/// Per-run limits, polled cooperatively at pipeline stage boundaries.
+struct RunLimits {
+  /// Wall-clock budget in seconds for this run; 0 means unlimited. The
+  /// serve layer derives it from the request deadline.
+  double budget_seconds = 0.0;
+  /// External cancellation (batch-wide cancel, serve shutdown); null
+  /// means never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// A warm per-worker execution engine: one core::Pipeline built once
+/// (lexicon/dictionary/translator construction is the expensive part),
+/// then reused across tasks with per-run budget/cancel wiring. This is
+/// the unit both batch::check workers and serve::Service workers are made
+/// of. Not thread-safe: one runner belongs to one thread.
+class TaskRunner {
+ public:
+  TaskRunner(int worker_id, const RunnerOptions& options);
+  ~TaskRunner();
+  TaskRunner(const TaskRunner&) = delete;
+  TaskRunner& operator=(const TaskRunner&) = delete;
+
+  /// Run one task under the given limits. Never throws for per-task
+  /// failures (they become kError/kBudgetExhausted/kCancelled results).
+  [[nodiscard]] TaskResult run(const SpecTask& task,
+                               const RunLimits& limits = {});
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 struct BatchOptions {
@@ -195,6 +251,11 @@ struct BatchReport {
 /// result in input order -- no timings, worker ids, or steal counts. Equal
 /// strings for any jobs count, including jobs=1.
 [[nodiscard]] std::string canonical(const BatchReport& report);
+
+/// One result's canonical rendering (a single newline-terminated line),
+/// exactly the line canonical() emits for it. The serve protocol embeds
+/// this so daemon verdicts are byte-comparable with speccc_batch output.
+[[nodiscard]] std::string canonical_line(const TaskResult& result);
 
 /// Machine-readable report (timings included) for CI artifacts.
 [[nodiscard]] std::string to_json(const BatchReport& report);

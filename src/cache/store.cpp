@@ -1,11 +1,18 @@
 #include "cache/store.hpp"
 
-#include <deque>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
 
 namespace speccc::cache {
+
+const char* eviction_name(Eviction eviction) {
+  switch (eviction) {
+    case Eviction::kFifo: return "fifo";
+    case Eviction::kLru: return "lru";
+  }
+  return "?";
+}
 
 StatsSnapshot StatsSnapshot::since(const StatsSnapshot& earlier) const {
   StatsSnapshot delta;
@@ -23,21 +30,44 @@ void print_stats(std::ostream& os, const StatsSnapshot& stats) {
      << " misses, " << stats.evictions << " evictions\n";
 }
 
+namespace {
+
+/// The per-thread accumulator behind Store::thread_stats(). Plain fields:
+/// only the owning thread ever touches its copy.
+thread_local StatsSnapshot tls_stats;
+
+}  // namespace
+
 namespace detail {
 
 template <typename Value>
 struct ShardedMap<Value>::Shard {
   mutable std::mutex mutex;
-  std::unordered_map<util::Digest, Value> map;
-  std::deque<util::Digest> fifo;  // insertion order, for eviction
+  /// Eviction order: front is next to evict. kFifo appends on insert and
+  /// never reorders; kLru additionally splices an entry to the back on
+  /// every get() hit.
+  mutable std::list<std::pair<util::Digest, Value>> entries;
+  mutable std::unordered_map<util::Digest,
+                             typename std::list<std::pair<util::Digest, Value>>::iterator>
+      index;
 };
 
 template <typename Value>
-ShardedMap<Value>::ShardedMap(std::size_t shards, std::size_t max_entries)
-    : shards_(shards == 0 ? 1 : shards) {
+ShardedMap<Value>::ShardedMap(std::size_t shards, std::size_t max_entries,
+                              Eviction eviction)
+    : shards_(shards == 0 ? 1 : shards), eviction_(eviction) {
   const std::size_t n = shards_.size();
-  // Ceiling split so the total cap is at least max_entries.
-  per_shard_cap_ = max_entries == 0 ? 0 : (max_entries + n - 1) / n;
+  if (max_entries != 0) {
+    // Exact global cap: per-shard caps differ by at most one and sum to
+    // max_entries. Shards whose cap is zero (cap < shard count) decline
+    // inserts rather than stretching the documented total.
+    shard_caps_.resize(n);
+    const std::size_t base = max_entries / n;
+    const std::size_t remainder = max_entries % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_caps_[i] = base + (i < remainder ? 1 : 0);
+    }
+  }
 }
 
 template <typename Value>
@@ -47,24 +77,31 @@ template <typename Value>
 std::optional<Value> ShardedMap<Value>::get(const util::Digest& key) const {
   const Shard& shard = shards_[key.hi % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) return std::nullopt;
-  return it->second;
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return std::nullopt;
+  if (eviction_ == Eviction::kLru) {
+    shard.entries.splice(shard.entries.end(), shard.entries, it->second);
+  }
+  return it->second->second;
 }
 
 template <typename Value>
 std::size_t ShardedMap<Value>::put(const util::Digest& key, const Value& value) {
-  Shard& shard = shards_[key.hi % shards_.size()];
+  const std::size_t which = key.hi % shards_.size();
+  Shard& shard = shards_[which];
+  const std::size_t cap =
+      shard_caps_.empty() ? 0 : shard_caps_[which];  // 0 in a capped map: declined
+  if (!shard_caps_.empty() && cap == 0) return 0;
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.map.count(key) != 0) return 0;  // racing writer got here first
+  if (shard.index.count(key) != 0) return 0;  // racing writer got here first
   std::size_t evicted = 0;
-  while (per_shard_cap_ != 0 && shard.map.size() >= per_shard_cap_) {
-    shard.map.erase(shard.fifo.front());
-    shard.fifo.pop_front();
+  while (cap != 0 && shard.index.size() >= cap) {
+    shard.index.erase(shard.entries.front().first);
+    shard.entries.pop_front();
     ++evicted;
   }
-  shard.map.emplace(key, value);
-  shard.fifo.push_back(key);
+  shard.entries.emplace_back(key, value);
+  shard.index.emplace(key, std::prev(shard.entries.end()));
   return evicted;
 }
 
@@ -73,7 +110,7 @@ std::size_t ShardedMap<Value>::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.map.size();
+    total += shard.index.size();
   }
   return total;
 }
@@ -88,78 +125,92 @@ template class ShardedMap<timeabs::Abstraction>;
 
 Store::Store(StoreOptions options)
     : options_(options),
-      sentences_(options.shards, options.max_entries),
-      satisfiable_(options.shards, options.max_entries),
-      synthesis_(options.shards, options.max_entries),
-      refinement_(options.shards, options.max_entries),
-      abstraction_(options.shards, options.max_entries) {}
+      sentences_(options.shards, options.max_entries, options.eviction),
+      satisfiable_(options.shards, options.max_entries, options.eviction),
+      synthesis_(options.shards, options.max_entries, options.eviction),
+      refinement_(options.shards, options.max_entries, options.eviction),
+      abstraction_(options.shards, options.max_entries, options.eviction) {}
 
 namespace {
 
-/// Count a lookup against the right level's counters.
+/// Count a lookup against the right level's counters (shared atomics plus
+/// the calling thread's per-request accumulator).
 void count(bool hit, std::atomic<std::uint64_t>& hits,
-           std::atomic<std::uint64_t>& misses) {
+           std::atomic<std::uint64_t>& misses, std::uint64_t StatsSnapshot::*tls_hit,
+           std::uint64_t StatsSnapshot::*tls_miss) {
   (hit ? hits : misses).fetch_add(1, std::memory_order_relaxed);
+  ++(tls_stats.*(hit ? tls_hit : tls_miss));
 }
 
 }  // namespace
 
+void Store::record_eviction(std::size_t evicted) {
+  if (evicted == 0) return;
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  tls_stats.evictions += evicted;
+}
+
+StatsSnapshot Store::thread_stats() { return tls_stats; }
+
 std::optional<nlp::Sentence> Store::find_sentence(const util::Digest& key) const {
   auto result = sentences_.get(key);
-  count(result.has_value(), l1_hits_, l1_misses_);
+  count(result.has_value(), l1_hits_, l1_misses_, &StatsSnapshot::l1_hits,
+        &StatsSnapshot::l1_misses);
   return result;  // non-const local: moves
 }
 
 void Store::put_sentence(const util::Digest& key, const nlp::Sentence& sentence) {
-  evictions_.fetch_add(sentences_.put(key, sentence), std::memory_order_relaxed);
+  record_eviction(sentences_.put(key, sentence));
 }
 
 std::optional<bool> Store::find_satisfiable(const util::Digest& key) const {
   auto result = satisfiable_.get(key);
-  count(result.has_value(), l2_hits_, l2_misses_);
+  count(result.has_value(), l2_hits_, l2_misses_, &StatsSnapshot::l2_hits,
+        &StatsSnapshot::l2_misses);
   return result;  // non-const local: moves
 }
 
 void Store::put_satisfiable(const util::Digest& key, bool satisfiable) {
-  evictions_.fetch_add(satisfiable_.put(key, satisfiable),
-                       std::memory_order_relaxed);
+  record_eviction(satisfiable_.put(key, satisfiable));
 }
 
 std::optional<synth::SynthesisResult> Store::find_synthesis(
     const util::Digest& key) const {
   auto result = synthesis_.get(key);
-  count(result.has_value(), l2_hits_, l2_misses_);
+  count(result.has_value(), l2_hits_, l2_misses_, &StatsSnapshot::l2_hits,
+        &StatsSnapshot::l2_misses);
   return result;  // non-const local: moves
 }
 
 void Store::put_synthesis(const util::Digest& key,
                           const synth::SynthesisResult& result) {
-  evictions_.fetch_add(synthesis_.put(key, result), std::memory_order_relaxed);
+  record_eviction(synthesis_.put(key, result));
 }
 
 std::optional<refine::RefinementOutcome> Store::find_refinement(
     const util::Digest& key) const {
   auto result = refinement_.get(key);
-  count(result.has_value(), l2_hits_, l2_misses_);
+  count(result.has_value(), l2_hits_, l2_misses_, &StatsSnapshot::l2_hits,
+        &StatsSnapshot::l2_misses);
   return result;  // non-const local: moves
 }
 
 void Store::put_refinement(const util::Digest& key,
                            const refine::RefinementOutcome& outcome) {
-  evictions_.fetch_add(refinement_.put(key, outcome), std::memory_order_relaxed);
+  record_eviction(refinement_.put(key, outcome));
 }
 
 std::optional<timeabs::Abstraction> Store::find_abstraction(
     const util::Digest& key) const {
   auto result = abstraction_.get(key);
-  count(result.has_value(), l2_hits_, l2_misses_);
+  count(result.has_value(), l2_hits_, l2_misses_, &StatsSnapshot::l2_hits,
+        &StatsSnapshot::l2_misses);
   return result;  // non-const local: moves
 }
 
 void Store::put_abstraction(const util::Digest& key,
                             const timeabs::Abstraction& abstraction) {
-  evictions_.fetch_add(abstraction_.put(key, abstraction),
-                       std::memory_order_relaxed);
+  record_eviction(abstraction_.put(key, abstraction));
 }
 
 StatsSnapshot Store::stats() const {

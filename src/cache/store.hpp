@@ -24,28 +24,38 @@
 // (never reuse a domain string) when adding a cached artifact.
 //
 // Concurrency: each level is sharded over mutex-protected maps (shard =
-// key bits), so batch workers (batch/batch.hpp) share one store without
-// serializing on a global lock — this is the sanctioned exception to the
-// per-worker-isolation threading rule, in the same class as the formula
-// intern arena. Values are returned by copy; entries are immutable once
-// inserted. Two workers may race to compute the same missing entry; both
-// compute, both insert the identical value, and the counters record two
-// misses — which is why hit/miss statistics are diagnostics (like
-// timings), excluded from canonical batch reports.
+// key bits), so batch workers (batch/batch.hpp) and serve workers
+// (serve/service.hpp) share one store without serializing on a global
+// lock — this is the sanctioned exception to the per-worker-isolation
+// threading rule, in the same class as the formula intern arena. Values
+// are returned by copy; entries are immutable once inserted. Two workers
+// may race to compute the same missing entry; both compute, both insert
+// the identical value, and the counters record two misses — which is why
+// hit/miss statistics are diagnostics (like timings), excluded from
+// canonical batch reports.
 //
 // Determinism: every cached computation is a pure function of its key, so
 // a run with a store (fresh or warm) is byte-identical in all canonical
 // outputs to a run without one; only wall-clock changes. batch_test and
 // the CI cache smoke enforce this.
 //
-// Eviction: FIFO per shard, capped by StoreOptions::max_entries per
-// artifact kind. FIFO (not LRU) keeps the hit path single-lock-cheap;
-// batch workloads sweep keys in waves, where recency tracking buys little.
+// Eviction (StoreOptions::eviction): kFifo per shard by default — FIFO
+// keeps the hit path single-lock-cheap, and batch workloads sweep keys in
+// waves where recency tracking buys little. Long-lived serve processes
+// use kLru instead: a resident store sees the same hot specifications
+// recur indefinitely, and FIFO would cycle them out on age alone.
+// StoreOptions::max_entries is a GLOBAL cap per artifact kind, enforced
+// exactly: per-shard caps differ by at most one and sum to max_entries
+// (shards low in index take the remainder). When max_entries is positive
+// but smaller than the shard count, the shards whose cap works out to
+// zero decline inserts — lookups there always miss, which only costs
+// recomputation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <list>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,13 +69,24 @@
 
 namespace speccc::cache {
 
+/// Per-shard eviction policy (see the header comment for the trade-off).
+enum class Eviction {
+  kFifo,  ///< insertion order; get() never mutates (batch default)
+  kLru,   ///< least-recently-used; get() refreshes recency (serve default)
+};
+
+[[nodiscard]] const char* eviction_name(Eviction eviction);
+
 struct StoreOptions {
   /// Mutex shards per artifact kind; more shards = less contention.
   std::size_t shards = 16;
-  /// Entry cap per artifact kind (sentences, satisfiability, synthesis,
-  /// refinement, abstraction each get their own cap), split evenly across
-  /// shards. 0 means unlimited.
+  /// Global entry cap per artifact kind (sentences, satisfiability,
+  /// synthesis, refinement, abstraction each get their own cap), enforced
+  /// exactly across shards (per-shard caps differ by at most one and sum
+  /// to this). 0 means unlimited.
   std::size_t max_entries = 1 << 16;
+  /// Replacement policy applied when a shard is at capacity.
+  Eviction eviction = Eviction::kFifo;
 };
 
 /// Point-in-time counters. "l1" is the sentence level, "l2" aggregates the
@@ -91,26 +112,29 @@ void print_stats(std::ostream& os, const StatsSnapshot& stats);
 
 namespace detail {
 
-/// One sharded FIFO-evicting map. Value types must be copyable; get()
-/// copies out under the shard lock.
+/// One sharded evicting map. Value types must be copyable; get() copies
+/// out under the shard lock (and, under kLru, refreshes the entry's
+/// recency while it holds it).
 template <typename Value>
 class ShardedMap {
  public:
-  ShardedMap(std::size_t shards, std::size_t max_entries);
+  ShardedMap(std::size_t shards, std::size_t max_entries, Eviction eviction);
   ~ShardedMap();
   ShardedMap(const ShardedMap&) = delete;
   ShardedMap& operator=(const ShardedMap&) = delete;
 
   [[nodiscard]] std::optional<Value> get(const util::Digest& key) const;
-  /// Inserts unless the key is already present; evicts the shard's oldest
-  /// entry first when the shard is at capacity. Returns evictions made.
+  /// Inserts unless the key is already present; evicts per the policy when
+  /// the shard is at capacity (shards capped at zero decline the insert).
+  /// Returns evictions made.
   std::size_t put(const util::Digest& key, const Value& value);
   [[nodiscard]] std::size_t size() const;
 
  private:
   struct Shard;
   std::vector<Shard> shards_;
-  std::size_t per_shard_cap_;  // 0 = unlimited
+  std::vector<std::size_t> shard_caps_;  // empty = unlimited
+  Eviction eviction_;
 };
 
 }  // namespace detail
@@ -144,6 +168,13 @@ class Store {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const StoreOptions& options() const { return options_; }
 
+  /// Per-thread counters: every hit/miss/eviction any Store records on the
+  /// calling thread also accumulates into a thread-local snapshot. A serve
+  /// worker runs one request start-to-finish on one thread, so the delta
+  /// of two thread_stats() calls is that request's exact cache accounting
+  /// — no cross-worker races, unlike the shared stats() counters.
+  [[nodiscard]] static StatsSnapshot thread_stats();
+
  private:
   StoreOptions options_;
   detail::ShardedMap<nlp::Sentence> sentences_;
@@ -157,6 +188,8 @@ class Store {
   mutable std::atomic<std::uint64_t> l2_hits_{0};
   mutable std::atomic<std::uint64_t> l2_misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+
+  void record_eviction(std::size_t evicted);
 };
 
 // ---- Key derivation ---------------------------------------------------------

@@ -232,6 +232,73 @@ Lit Solver::pick_branch() {
   return Lit(best, vars_[best].saved_phase);
 }
 
+std::uint32_t Solver::clause_lbd(const Clause& clause) const {
+  // Glucose's literal-block distance: the number of distinct decision
+  // levels among the clause's literals, evaluated at learn time (callers
+  // compute it before backtracking, while every literal is still
+  // assigned). Learned clauses are short, so sort+unique beats a stamp
+  // array here.
+  std::vector<int> levels;
+  levels.reserve(clause.size());
+  for (const Lit l : clause) levels.push_back(vars_[l.var()].level);
+  std::sort(levels.begin(), levels.end());
+  return static_cast<std::uint32_t>(
+      std::unique(levels.begin(), levels.end()) - levels.begin());
+}
+
+void Solver::reduce_learned() {
+  speccc_check(trail_limits_.empty(), "reduce_learned above decision level 0");
+  // Never delete: original clauses, reasons of (level-0) assignments, and
+  // glue clauses (LBD <= 2 -- they connect at most two decision blocks and
+  // are the ones worth keeping forever).
+  std::vector<char> locked(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const int reason = vars_[l.var()].reason;
+    if (reason >= 0) locked[static_cast<std::size_t>(reason)] = 1;
+  }
+  std::vector<int> candidates;
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned && !locked[i] && clauses_[i].lbd > 2) {
+      candidates.push_back(static_cast<int>(i));
+    }
+  }
+  // Delete the worse half: higher LBD first; within a tier, older first
+  // (stable sort keeps index order, and smaller index = learned earlier).
+  std::stable_sort(candidates.begin(), candidates.end(), [this](int a, int b) {
+    return clauses_[static_cast<std::size_t>(a)].lbd >
+           clauses_[static_cast<std::size_t>(b)].lbd;
+  });
+  const std::size_t to_delete = candidates.size() / 2;
+  if (to_delete == 0) return;
+  std::vector<char> drop(clauses_.size(), 0);
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    drop[static_cast<std::size_t>(candidates[i])] = 1;
+  }
+
+  // Compact the clause vector, then rebuild every index that referenced
+  // it: watcher lists from scratch, trail reasons via the remap (reasons
+  // are locked, so they always survive).
+  std::vector<int> remap(clauses_.size(), -1);
+  std::vector<ClauseData> kept;
+  kept.reserve(clauses_.size() - to_delete);
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    if (drop[i]) continue;
+    remap[i] = static_cast<int>(kept.size());
+    kept.push_back(std::move(clauses_[i]));
+  }
+  clauses_ = std::move(kept);
+  for (auto& watchers : watches_) watchers.clear();
+  for (std::size_t i = 0; i < clauses_.size(); ++i) {
+    attach(static_cast<int>(i));
+  }
+  for (auto& v : vars_) {
+    if (v.reason >= 0) v.reason = remap[static_cast<std::size_t>(v.reason)];
+  }
+  num_learned_ -= to_delete;
+  stats_.deleted += to_delete;
+  ++stats_.reductions;
+}
+
 std::uint64_t Solver::luby(std::uint64_t i) {
   // Knuth's formulation of the Luby sequence.
   std::uint64_t k = 1;
@@ -300,6 +367,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     unsat_ = true;
     return Result::kUnsat;
   }
+  // Long-lived incremental use: every solve() call is a level-0 point, so
+  // enforce the learned-clause cap here -- a worker issuing thousands of
+  // small queries plateaus instead of growing without bound.
+  if (learned_cap_ != 0 && num_learned_ >= learned_cap_) reduce_learned();
 
   std::uint64_t restart_round = 0;
   std::uint64_t conflicts_until_restart = 64 * luby(restart_round);
@@ -317,6 +388,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       Clause learned;
       int backtrack_level = 0;
       analyze(conflict, learned, backtrack_level);
+      // LBD must be measured before backtrack() unassigns the literals.
+      const std::uint32_t lbd = clause_lbd(learned);
       // Never backtrack past the assumption prefix: if the learned clause
       // asserts below the number of assumptions taken, the assumptions
       // conflict.
@@ -328,8 +401,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         }
         if (lit_value(learned[0]) == Value::kUndef) enqueue(learned[0], -1);
       } else {
-        clauses_.push_back({learned, true});
+        clauses_.push_back({learned, true, lbd});
         ++stats_.learned;
+        ++num_learned_;
         attach(static_cast<int>(clauses_.size()) - 1);
         enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
       }
@@ -340,6 +414,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         conflicts_this_round = 0;
         conflicts_until_restart = 64 * luby(restart_round);
         backtrack(0);
+        if (learned_cap_ != 0 && num_learned_ >= learned_cap_) {
+          reduce_learned();
+        }
       }
       continue;
     }

@@ -18,10 +18,22 @@
 // MUS shrinker) can treat them as a pruned copy of their query.
 //
 // Incremental use: the clause database -- including learned clauses -- is
-// never cleared between solve() calls, so a sequence of related
-// assumption queries (the MaxSAT/MCS loop, the descending bound search)
-// reuses everything earlier conflicts taught the solver. Add clauses and
-// variables freely between calls; only add_clause invalidates the model.
+// kept between solve() calls, so a sequence of related assumption queries
+// (the MaxSAT/MCS loop, the descending bound search) reuses everything
+// earlier conflicts taught the solver. Add clauses and variables freely
+// between calls; only add_clause invalidates the model.
+//
+// Learned-clause reduction: unbounded retention is fine for batch-length
+// runs but lets a long-lived serve worker's clause DB grow without bound.
+// When the live learned-clause count reaches learned_cap() (default
+// kDefaultLearnedCap; 0 disables), the solver deletes the worse half of
+// the deletable learned clauses, Glucose-style: clauses with LBD <= 2
+// ("glue"), clauses currently acting as a reason on the trail, and
+// original clauses are never deleted; among the rest, higher-LBD and
+// older clauses go first. Reduction runs at decision level 0 (solve()
+// entry and restarts), never mid-search, and is always sound -- learned
+// clauses are implied, so deleting them can only cost repeated work.
+// Short runs never reach the default cap and behave exactly as before.
 #pragma once
 
 #include <cstdint>
@@ -90,15 +102,30 @@ class Solver {
   /// core().
   [[nodiscard]] bool assumption_failed(Lit assumption) const;
 
-  /// Statistics, for the benchmark harness.
+  /// Statistics, for the benchmark harness. `learned` counts clauses ever
+  /// learned (monotone); `deleted` counts clauses removed by reduction, so
+  /// live learned clauses = learned - deleted (also num_learned()).
   struct Stats {
     std::uint64_t conflicts = 0;
     std::uint64_t decisions = 0;
     std::uint64_t propagations = 0;
     std::uint64_t restarts = 0;
     std::uint64_t learned = 0;
+    std::uint64_t reductions = 0;
+    std::uint64_t deleted = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Learned-clause retention cap (see the header comment). 0 disables
+  /// reduction entirely (the pre-reduction behavior).
+  static constexpr std::size_t kDefaultLearnedCap = 10'000;
+  void set_learned_cap(std::size_t cap) { learned_cap_ = cap; }
+  [[nodiscard]] std::size_t learned_cap() const { return learned_cap_; }
+  /// Live learned clauses currently in the database.
+  [[nodiscard]] std::size_t num_learned() const { return num_learned_; }
+  /// Total clauses (original + live learned) in the database -- the
+  /// memory-relevant counter the long-lived-worker test pins.
+  [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
 
  private:
   enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
@@ -106,6 +133,9 @@ class Solver {
   struct ClauseData {
     Clause lits;
     bool learned = false;
+    /// Literal-block distance at learn time (distinct decision levels);
+    /// the Glucose quality measure reduction sorts by. 0 for originals.
+    std::uint32_t lbd = 0;
   };
 
   struct Watcher {
@@ -130,6 +160,8 @@ class Solver {
   void decay();
   Lit pick_branch();
   void attach(int clause_index);
+  [[nodiscard]] std::uint32_t clause_lbd(const Clause& clause) const;
+  void reduce_learned();  // requires decision level 0
   static std::uint64_t luby(std::uint64_t i);
 
   std::vector<ClauseData> clauses_;
@@ -140,6 +172,8 @@ class Solver {
   std::vector<int> trail_limits_;
   std::size_t queue_head_ = 0;
   double activity_increment_ = 1.0;
+  std::size_t learned_cap_ = kDefaultLearnedCap;
+  std::size_t num_learned_ = 0;
   bool unsat_ = false;
   std::vector<Lit> core_;
   std::vector<bool> failed_assumptions_;

@@ -1,0 +1,77 @@
+// Minimal JSON for the serve wire protocol (protocol.hpp): a tree value
+// type, a strict recursive-descent parser, and escape/number writers.
+//
+// Scope: exactly what newline-delimited JSON framing needs -- UTF-8
+// passthrough (\uXXXX escapes are decoded to UTF-8 on parse), doubles for
+// every number, no comments, no trailing commas. Documents are one
+// protocol line, so the nesting depth cap is small and malformed input is
+// a util::ParseError, never UB. This is deliberately not a general JSON
+// library; the batch report writer keeps its own streaming emitter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speccc::serve::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// std::map, not unordered: rendering iterates members in key order, so
+/// emitted objects are deterministic (the protocol tests pin bytes).
+using Object = std::map<std::string, Value>;
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  Value(std::int64_t n) : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Checked accessors: util::ParseError on kind mismatch, so protocol
+  // handlers can cast freely and report one coherent error per line.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; null value when absent (or when not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse one complete JSON document. Trailing non-whitespace (a second
+/// value on the line) is an error. Throws util::ParseError.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Append the JSON string literal (quotes included) for `text`.
+void write_string(std::string& out, std::string_view text);
+
+/// Append a JSON number: integers exactly, doubles with enough digits to
+/// round-trip.
+void write_number(std::string& out, double value);
+
+/// Render a full value tree (object members in key order).
+void write(std::string& out, const Value& value);
+
+}  // namespace speccc::serve::json

@@ -1,0 +1,171 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::serve::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw util::InvalidInputError("net: " + what + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::send_all(std::string_view data) {
+  while (!data.empty()) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd_, data.data(), data.size(), 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer gone (EPIPE/ECONNRESET): not an error for us
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+std::size_t Socket::recv_some(char* buffer, std::size_t max) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buffer, max, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return 0;  // abrupt close = EOF for framing
+    fail("recv");
+  }
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) fail("listen");
+  // Recover the kernel-chosen port when 0 was requested.
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener() { close(); }
+
+std::optional<Socket> Listener::accept_client() {
+  if (fd_ < 0) return std::nullopt;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;  // EINTR (signal) or closed listener
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(client);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket dial(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sockaddr_in addr = loopback(port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Socket(fd);
+}
+
+bool LineReader::read_line(std::string& line) {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n', pos_);
+    if (newline != std::string::npos) {
+      line.assign(buffer_, pos_, newline - pos_);
+      pos_ = newline + 1;
+      // Compact once the consumed prefix dominates the buffer.
+      if (pos_ > 4096 && pos_ * 2 > buffer_.size()) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+      }
+      return true;
+    }
+    if (eof_) {
+      if (pos_ < buffer_.size()) {  // final unterminated line
+        line.assign(buffer_, pos_, buffer_.size() - pos_);
+        pos_ = buffer_.size();
+        return true;
+      }
+      return false;
+    }
+    char chunk[4096];
+    const std::size_t n = socket_->recv_some(chunk, sizeof chunk);
+    if (n == 0) {
+      eof_ = true;
+    } else {
+      buffer_.append(chunk, n);
+    }
+  }
+}
+
+}  // namespace speccc::serve::net

@@ -1,0 +1,87 @@
+// Thin POSIX TCP plumbing for the NDJSON protocol: a move-only socket
+// wrapper, a loopback listener (port 0 = kernel-chosen ephemeral port,
+// reported back for --port-file scripting), a client dial, and a buffered
+// '\n'-framed line reader. Everything interesting about the daemon lives
+// above this layer (serve/service.hpp, serve/protocol.hpp); this one
+// exists so sockets never leak into testable code. Errors are
+// util::InvalidInputError with errno text; EOF is a clean false from
+// read_line, not an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace speccc::serve::net {
+
+/// Move-only owning fd wrapper. send_all loops over partial writes and
+/// suppresses SIGPIPE (a vanished peer is a normal serve event).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Write the whole buffer; returns false when the peer is gone.
+  bool send_all(std::string_view data);
+  /// Read up to `max` bytes; 0 = EOF, negative never (throws on error
+  /// other than EINTR, which retries).
+  std::size_t recv_some(char* buffer, std::size_t max);
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening loopback TCP socket. Port 0 asks the kernel for an
+/// ephemeral port; port() reports the one actually bound.
+class Listener {
+ public:
+  /// Binds 127.0.0.1:port and listens. Throws util::InvalidInputError on
+  /// bind failure (port taken, no permission).
+  explicit Listener(std::uint16_t port);
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Block until a client connects; empty on EINTR (signal) or a closed
+  /// listener, so a drain loop can re-check its stop flag.
+  [[nodiscard]] std::optional<Socket> accept_client();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port. Throws util::InvalidInputError on refusal.
+[[nodiscard]] Socket dial(std::uint16_t port);
+
+/// Buffered newline framing over a Socket. Lines are returned without the
+/// trailing '\n' (a final unterminated chunk before EOF counts as a line).
+class LineReader {
+ public:
+  explicit LineReader(Socket& socket) : socket_(&socket) {}
+
+  /// False on EOF with no buffered data; true otherwise with `line` set.
+  bool read_line(std::string& line);
+
+ private:
+  Socket* socket_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace speccc::serve::net

@@ -1,11 +1,13 @@
 // Tests for the cross-spec memoization layer (cache/store.hpp): canonical
 // digest stability, lexicon fingerprint invalidation, store semantics
-// (hit/miss counters, FIFO eviction under max_entries), and the
+// (hit/miss counters, FIFO/LRU eviction under the exact global
+// max_entries cap, per-thread accounting), and the
 // cached-equals-uncached contract at the translator and pipeline levels.
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/store.hpp"
@@ -222,6 +224,104 @@ TEST(Store, EvictsOldestFirstUnderMaxEntries) {
   for (int i = 2; i < 6; ++i) {
     EXPECT_TRUE(store.find_satisfiable(keys[i]).has_value()) << i;
   }
+}
+
+TEST(Store, GlobalCapIsExactEvenWhenShardsDoNotDivideIt) {
+  // Regression pin: the cap used to be ceiling-split per shard, so
+  // shards=4 with max_entries=10 could hold up to 12 entries. The cap is
+  // documented GLOBAL and enforced exactly: per-shard caps differ by at
+  // most one and sum to max_entries.
+  cache::StoreOptions options;
+  options.shards = 4;
+  options.max_entries = 10;  // not divisible by 4
+  cache::Store store(options);
+
+  for (int i = 0; i < 200; ++i) {
+    store.put_satisfiable(DigestBuilder("cap").u64(i).finalize(), true);
+  }
+  EXPECT_LE(store.size(), 10u);
+  // Keys spread over 4 shards; 200 inserts certainly filled every shard,
+  // so the store sits exactly at the global cap.
+  EXPECT_EQ(store.size(), 10u);
+  EXPECT_EQ(store.stats().evictions, 200u - 10u);
+}
+
+TEST(Store, CapBelowShardCountStillAdmitsSomewhereAndNeverExceeds) {
+  // The documented corner: max_entries < shards leaves some shards with a
+  // zero cap; they decline inserts (a miss there only costs
+  // recomputation), while the store still never exceeds the global cap.
+  cache::StoreOptions options;
+  options.shards = 8;
+  options.max_entries = 3;
+  cache::Store store(options);
+  for (int i = 0; i < 100; ++i) {
+    store.put_satisfiable(DigestBuilder("tiny").u64(i).finalize(), true);
+  }
+  EXPECT_LE(store.size(), 3u);
+  EXPECT_GT(store.size(), 0u);
+}
+
+TEST(Store, LruKeepsRecentlyUsedWhereFifoEvictsByAge) {
+  // Same access pattern under both policies: insert A then B (cap 2),
+  // touch A, insert C. FIFO evicts A (oldest inserted); LRU evicts B
+  // (least recently used) because the touch refreshed A.
+  const Digest a = DigestBuilder("ev").u64(1).finalize();
+  const Digest b = DigestBuilder("ev").u64(2).finalize();
+  const Digest c = DigestBuilder("ev").u64(3).finalize();
+
+  for (const cache::Eviction policy :
+       {cache::Eviction::kFifo, cache::Eviction::kLru}) {
+    cache::StoreOptions options;
+    options.shards = 1;
+    options.max_entries = 2;
+    options.eviction = policy;
+    cache::Store store(options);
+
+    store.put_satisfiable(a, true);
+    store.put_satisfiable(b, true);
+    EXPECT_TRUE(store.find_satisfiable(a).has_value());  // touch A
+    store.put_satisfiable(c, true);
+
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_TRUE(store.find_satisfiable(c).has_value());
+    if (policy == cache::Eviction::kFifo) {
+      EXPECT_FALSE(store.find_satisfiable(a).has_value()) << "fifo";
+      EXPECT_TRUE(store.find_satisfiable(b).has_value()) << "fifo";
+    } else {
+      EXPECT_TRUE(store.find_satisfiable(a).has_value()) << "lru";
+      EXPECT_FALSE(store.find_satisfiable(b).has_value()) << "lru";
+    }
+  }
+  EXPECT_STREQ(cache::eviction_name(cache::Eviction::kFifo), "fifo");
+  EXPECT_STREQ(cache::eviction_name(cache::Eviction::kLru), "lru");
+}
+
+TEST(Store, ThreadStatsAttributeWorkToTheCallingThread) {
+  // Per-request accounting for the serve layer: the thread-local snapshot
+  // delta scopes hits/misses to exactly what THIS thread did, regardless
+  // of what other threads do to the same (or any) store.
+  cache::Store store;
+  const Digest here = DigestBuilder("tls").u64(1).finalize();
+  const Digest there = DigestBuilder("tls").u64(2).finalize();
+
+  std::thread other([&] {
+    for (int i = 0; i < 5; ++i) {
+      (void)store.find_satisfiable(there);  // 5 misses on the other thread
+    }
+  });
+  other.join();
+
+  const cache::StatsSnapshot before = cache::Store::thread_stats();
+  (void)store.find_satisfiable(here);  // miss
+  store.put_satisfiable(here, true);
+  (void)store.find_satisfiable(here);  // hit
+  const cache::StatsSnapshot delta =
+      cache::Store::thread_stats().since(before);
+  EXPECT_EQ(delta.l2_misses, 1u);
+  EXPECT_EQ(delta.l2_hits, 1u);
+  EXPECT_EQ(delta.evictions, 0u);
+  // The shared counters saw everything, including the other thread.
+  EXPECT_EQ(store.stats().l2_misses, 6u);
 }
 
 TEST(Store, PutIsFirstWriterWinsAndIdempotent) {

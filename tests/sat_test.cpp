@@ -2,6 +2,7 @@
 // random small instances.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "sat/solver.hpp"
@@ -227,6 +228,139 @@ TEST(Sat, TautologicalClauseIgnored) {
   const int a = s.new_var();
   s.add_clause({Lit(a, true), Lit(a, false)});
   ASSERT_EQ(s.solve(), sat::Result::kSat);
+}
+
+namespace {
+
+/// Gated pigeonhole: PHP(pigeons, holes) clauses, all guarded by
+/// `selector` so the block is active only under that assumption. Every
+/// clause is also appended to `added` so tests can verify models against
+/// the full instance.
+void add_gated_pigeonhole(sat::Solver& s, Lit selector, int pigeons, int holes,
+                          std::vector<sat::Clause>& added) {
+  std::vector<std::vector<int>> var(static_cast<std::size_t>(pigeons),
+                                    std::vector<int>(static_cast<std::size_t>(holes)));
+  for (auto& row : var) {
+    for (int& v : row) v = s.new_var();
+  }
+  const auto add = [&](sat::Clause clause) {
+    added.push_back(clause);
+    s.add_clause(std::move(clause));
+  };
+  for (int i = 0; i < pigeons; ++i) {
+    sat::Clause c{selector.negated()};
+    for (int j = 0; j < holes; ++j) {
+      c.push_back(Lit(var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], true));
+    }
+    add(std::move(c));
+  }
+  for (int j = 0; j < holes; ++j) {
+    for (int i1 = 0; i1 < pigeons; ++i1) {
+      for (int i2 = i1 + 1; i2 < pigeons; ++i2) {
+        add({selector.negated(),
+             Lit(var[static_cast<std::size_t>(i1)][static_cast<std::size_t>(j)], false),
+             Lit(var[static_cast<std::size_t>(i2)][static_cast<std::size_t>(j)], false)});
+      }
+    }
+  }
+}
+
+bool model_satisfies(const sat::Solver& s, const std::vector<sat::Clause>& clauses) {
+  for (const sat::Clause& clause : clauses) {
+    bool satisfied = false;
+    for (const Lit l : clause) {
+      if (s.value(l.var()) == l.positive()) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TEST(Sat, RestartsUnderAssumptionsKeepTheCoreAndModelContracts) {
+  // A gated PHP(7,6) forces far more than 64 conflicts, so the Luby
+  // schedule restarts several times mid-solve. Every restart backtracks
+  // to level 0 and must re-assert the assumption trail; this pins that
+  // the kUnsat core contract and the kSat model contract both survive
+  // that churn.
+  sat::Solver s;
+  std::vector<sat::Clause> added;
+  const Lit gate(s.new_var(), true);
+  add_gated_pigeonhole(s, gate, 7, 6, added);
+
+  ASSERT_EQ(s.solve({gate}), sat::Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 64u);  // enough to cross the first restart
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_EQ(s.core(), (std::vector<Lit>{gate}));  // blames the gate alone
+  // Re-asserting the same failed assumption stays kUnsat (the learned
+  // clauses from the restarted search must not have corrupted anything).
+  ASSERT_EQ(s.solve({gate}), sat::Result::kUnsat);
+  EXPECT_EQ(s.core(), (std::vector<Lit>{gate}));
+  // Releasing the gate is satisfiable, and the model really satisfies
+  // every clause of the instance.
+  ASSERT_EQ(s.solve({gate.negated()}), sat::Result::kSat);
+  EXPECT_FALSE(s.value(gate.var()));
+  EXPECT_TRUE(model_satisfies(s, added));
+}
+
+TEST(Sat, DefaultCapLeavesShortRunsUntouched) {
+  // The default learned-clause cap is far above anything a pipeline-sized
+  // query learns, so existing behavior is preserved: no reductions fire.
+  sat::Solver s;
+  std::vector<sat::Clause> added;
+  const Lit gate(s.new_var(), true);
+  add_gated_pigeonhole(s, gate, 5, 4, added);
+  ASSERT_EQ(s.solve({gate}), sat::Result::kUnsat);
+  EXPECT_EQ(s.learned_cap(), sat::Solver::kDefaultLearnedCap);
+  EXPECT_EQ(s.stats().reductions, 0u);
+  EXPECT_EQ(s.stats().deleted, 0u);
+}
+
+TEST(Sat, LearnedClauseReductionPlateausLongIncrementalRuns) {
+  // The long-lived-process bugfix: before reduction existed, learned
+  // clauses accumulated without bound across incremental solve() calls.
+  // Eight independent gated pigeonhole blocks queried selector-by-selector
+  // generate thousands of learned clauses; with a small cap the live
+  // learned count and the clause database must plateau instead.
+  constexpr std::size_t kCap = 100;
+  sat::Solver s;
+  s.set_learned_cap(kCap);
+  std::vector<sat::Clause> added;
+  std::vector<Lit> gates;
+  for (int block = 0; block < 8; ++block) {
+    const Lit gate(s.new_var(), true);
+    gates.push_back(gate);
+    add_gated_pigeonhole(s, gate, 5, 4, added);
+  }
+
+  const std::size_t originals = s.num_clauses() - s.num_learned();
+  std::size_t live_peak = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (const Lit gate : gates) {
+      ASSERT_EQ(s.solve({gate}), sat::Result::kUnsat);
+      EXPECT_EQ(s.core(), (std::vector<Lit>{gate}));
+      live_peak = std::max(live_peak, s.num_learned());
+    }
+  }
+
+  const sat::Solver::Stats& stats = s.stats();
+  // The cap actually bit: far more clauses were learned than survive.
+  EXPECT_GT(stats.learned, 2 * kCap);
+  EXPECT_GT(stats.reductions, 0u);
+  EXPECT_GT(stats.deleted, 0u);
+  // Live learned = learned - deleted, and it plateaued near the cap
+  // (reduction keeps glue and locked clauses, so allow headroom; the
+  // point is "bounded", not "exact").
+  EXPECT_EQ(s.num_learned(), stats.learned - stats.deleted);
+  EXPECT_LE(live_peak, 2 * kCap);
+  EXPECT_LE(s.num_clauses(), originals + 2 * kCap);
+  // The database stays sound after many reductions: a satisfiable query
+  // still produces a genuine model over the whole instance.
+  ASSERT_EQ(s.solve({gates[0].negated()}), sat::Result::kSat);
 }
 
 // Brute-force cross-check on pseudo-random 3-CNF instances near the phase
