@@ -64,6 +64,14 @@ if [[ -x "$batch_bin" ]]; then
   "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --cache \
     "$repo_root/examples/specs" > "$build_dir/batch-smoke-cache.txt"
   diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-cache.txt"
+  # Race smoke: portfolio racing is verdict-transparent -- the canonical
+  # report must be byte-identical racing on vs off (core/portfolio.hpp's
+  # determinism contract).
+  echo "speccc_batch race smoke (canonical diff, race on vs off)"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical \
+    --substrate race:tableau,bounded,symbolic \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-race.txt"
+  diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-race.txt"
   # Diagnosis smoke 1: over an all-consistent corpus, --diagnose must not
   # change a byte of the canonical report (MCS enumeration only triggers
   # on genuinely inconsistent specs; batch/batch.hpp's input-purity rule).

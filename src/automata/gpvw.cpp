@@ -71,14 +71,16 @@ struct TNode {
 
 class GpvwBuilder {
  public:
-  GpvwBuilder(Formula phi, std::size_t max_nodes)
+  GpvwBuilder(Formula phi, std::size_t max_nodes,
+              const std::function<bool()>& cancelled)
       : phi_(phi),
         max_nodes_(max_nodes),
         // The tableau can burn exponential work in merged/discarded
         // branches without registering new nodes, so the give-up condition
         // also bounds processed work items, proportionally to the node cap
         // (saturating: a huge cap must not overflow into a zero budget).
-        work_budget_(max_nodes > SIZE_MAX / 64 ? SIZE_MAX : max_nodes * 64) {}
+        work_budget_(max_nodes > SIZE_MAX / 64 ? SIZE_MAX : max_nodes * 64),
+        cancelled_(cancelled) {}
 
   std::optional<Buchi> run() {
     collect_untils(phi_);
@@ -107,6 +109,9 @@ class GpvwBuilder {
     std::vector<TNode> work;
     work.push_back(std::move(start));
     while (!work.empty()) {
+      if (cancelled_ && cancelled_()) {
+        throw util::CancelledError("tableau construction cancelled");
+      }
       if (work_budget_ == 0) return false;
       --work_budget_;
       TNode node = std::move(work.back());
@@ -322,6 +327,7 @@ class GpvwBuilder {
   Formula phi_;
   std::size_t max_nodes_;
   std::size_t work_budget_;
+  const std::function<bool()>& cancelled_;
   std::set<Formula> untils_;
   std::vector<TNode> nodes_;
   std::unordered_map<std::size_t, std::vector<int>> node_index_;
@@ -329,8 +335,8 @@ class GpvwBuilder {
 
 }  // namespace
 
-std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f,
-                                        std::size_t max_nodes) {
+std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f, std::size_t max_nodes,
+                                        const std::function<bool()>& cancelled) {
   const Formula core = to_core(ltl::nnf(f));
   if (core.op() == Op::kFalse) {
     Buchi empty;
@@ -339,7 +345,7 @@ std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f,
     empty.accepting.push_back(false);
     return empty;
   }
-  return GpvwBuilder(core, max_nodes).run();
+  return GpvwBuilder(core, max_nodes, cancelled).run();
 }
 
 Buchi ltl_to_nbw(ltl::Formula f) {
@@ -350,8 +356,9 @@ Buchi ltl_to_nbw(ltl::Formula f) {
 
 Buchi ucw_for(ltl::Formula f) { return ltl_to_nbw(ltl::lnot(f)); }
 
-std::optional<Buchi> ucw_for_bounded(ltl::Formula f, std::size_t max_nodes) {
-  return ltl_to_nbw_bounded(ltl::lnot(f), max_nodes);
+std::optional<Buchi> ucw_for_bounded(ltl::Formula f, std::size_t max_nodes,
+                                     const std::function<bool()>& cancelled) {
+  return ltl_to_nbw_bounded(ltl::lnot(f), max_nodes, cancelled);
 }
 
 }  // namespace speccc::automata

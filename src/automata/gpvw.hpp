@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 
 #include "automata/buchi.hpp"
@@ -29,9 +30,12 @@ namespace speccc::automata {
 /// expansion budget, so pathological formulas (long Next chains under
 /// conjoined G obligations are exponential) cost bounded time instead of
 /// minutes. Callers that can live with "don't know" -- the bounded
-/// synthesis engine, the differential harness -- use this.
-[[nodiscard]] std::optional<Buchi> ltl_to_nbw_bounded(ltl::Formula f,
-                                                      std::size_t max_nodes);
+/// synthesis engine, the differential harness -- use this. `cancelled` is
+/// polled once per expanded node; returning true raises
+/// util::CancelledError (portfolio racers cancel losing tableaux here).
+[[nodiscard]] std::optional<Buchi> ltl_to_nbw_bounded(
+    ltl::Formula f, std::size_t max_nodes,
+    const std::function<bool()>& cancelled = {});
 
 /// The UCW view for bounded synthesis: the NBW of !phi, whose accepting
 /// states are the UCW's rejecting states. A word satisfies phi iff every
@@ -39,7 +43,8 @@ namespace speccc::automata {
 [[nodiscard]] Buchi ucw_for(ltl::Formula f);
 
 /// Construction-bounded UCW (see ltl_to_nbw_bounded).
-[[nodiscard]] std::optional<Buchi> ucw_for_bounded(ltl::Formula f,
-                                                   std::size_t max_nodes);
+[[nodiscard]] std::optional<Buchi> ucw_for_bounded(
+    ltl::Formula f, std::size_t max_nodes,
+    const std::function<bool()>& cancelled = {});
 
 }  // namespace speccc::automata

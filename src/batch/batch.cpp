@@ -104,7 +104,11 @@ class StealingQueues {
   std::vector<Queue> queues_;
 };
 
-/// Opposite-definite-verdict cross-check of one already-translated spec.
+/// Opposite-definite-verdict cross-check of one already-translated spec:
+/// every registered substrate re-decides it independently (the batch
+/// counterpart of the difftest oracle). Inapplicable substrates --
+/// symbolic outside its fragment, bounded beyond the alphabet cap --
+/// abstain with kUnknown, which never counts as disagreement.
 AgreementStats check_substrates(const core::PipelineResult& pipeline_result,
                                 const synth::BoundedOptions& bounded_options) {
   AgreementStats stats;
@@ -118,17 +122,19 @@ AgreementStats check_substrates(const core::PipelineResult& pipeline_result,
   signature.outputs.assign(pipeline_result.partition.outputs.begin(),
                            pipeline_result.partition.outputs.end());
 
-  if (const auto symbolic = synth::symbolic_synthesize(formulas, signature)) {
-    stats.symbolic = symbolic->verdict;
-  }
-  try {
-    const auto outcome = synth::bounded_synthesize(ltl::land(formulas),
-                                                   signature, bounded_options);
-    stats.bounded = outcome.verdict;
-  } catch (const util::SpecError&) {
-    // Signature beyond the explicit-alphabet cap (or similar): the bounded
-    // engine abstains, which never counts as disagreement.
-    stats.bounded = synth::Realizability::kUnknown;
+  synth::SynthesisOptions options;
+  options.bounded = bounded_options;
+
+  const core::SubstrateRegistry& registry = core::SubstrateRegistry::global();
+  for (const std::string& name : registry.names()) {
+    const core::Substrate* substrate = registry.find(name);
+    synth::Realizability verdict = synth::Realizability::kUnknown;
+    try {
+      verdict = substrate->check(formulas, signature, options, {}).verdict;
+    } catch (const util::SpecError&) {
+      // Inapplicable: the substrate abstains.
+    }
+    stats.verdicts.emplace_back(name, verdict);
   }
   return stats;
 }
@@ -179,7 +185,7 @@ TaskResult TaskRunner::run(const SpecTask& task, const RunLimits& limits) {
   util::Stopwatch task_clock;
   try {
     const core::PipelineResult pipeline_result =
-        impl_->pipeline->run(task.name, task.requirements);
+        impl_->pipeline->run(task.name, task.requirements, limits.substrate);
     result.status = pipeline_result.consistent ? TaskStatus::kConsistent
                                                : TaskStatus::kInconsistent;
     result.formulas = pipeline_result.num_formulas();
@@ -213,6 +219,8 @@ TaskResult TaskRunner::run(const SpecTask& task, const RunLimits& limits) {
     if (pipeline_result.synthesis.engine_used == synth::Engine::kSymbolic) {
       result.bdd = pipeline_result.synthesis.bdd_stats;
     }
+    result.substrate = pipeline_result.synthesis.substrate_used;
+    result.portfolio = pipeline_result.portfolio;
     if (impl_->options.check_agreement) {
       result.agreement =
           check_substrates(pipeline_result, impl_->options.agreement_bounded);
@@ -355,9 +363,12 @@ void canonical_result(std::ostream& os, const TaskResult& r) {
     }
   }
   if (r.agreement.checked) {
-    os << " symbolic=" << realizability_name(r.agreement.symbolic)
-       << " bounded=" << realizability_name(r.agreement.bounded)
-       << " agree=" << (r.agreement.agree() ? 1 : 0);
+    // One verdict per registered substrate, registry order: input-pure
+    // (every substrate's caps are deterministic), hence canonical.
+    for (const auto& entry : r.agreement.verdicts) {
+      os << ' ' << entry.first << '=' << realizability_name(entry.second);
+    }
+    os << " agree=" << (r.agreement.agree() ? 1 : 0);
   }
   if (r.status == TaskStatus::kError) os << " detail=" << r.detail;
   os << '\n';
@@ -459,10 +470,32 @@ std::string to_json(const BatchReport& report) {
          << ", \"bdd_cache_hits\": " << r.bdd.cache_hits
          << ", \"bdd_cache_misses\": " << r.bdd.cache_misses;
     }
+    if (!r.substrate.empty()) {
+      os << ", \"substrate\": \"" << json_escape(r.substrate) << "\"";
+    }
+    if (r.portfolio.has_value()) {
+      os << ", \"won\": \"" << json_escape(r.portfolio->winner)
+         << "\", \"substrates\": [";
+      for (std::size_t k = 0; k < r.portfolio->runs.size(); ++k) {
+        const core::SubstrateRunStats& run = r.portfolio->runs[k];
+        os << (k > 0 ? ", " : "") << "{\"name\": \"" << json_escape(run.name)
+           << "\", \"verdict\": \"" << realizability_name(run.verdict)
+           << "\", \"seconds\": " << run.wall_seconds
+           << ", \"won\": " << (run.won ? "true" : "false")
+           << ", \"cancelled\": " << (run.cancelled ? "true" : "false");
+        if (!run.error.empty()) {
+          os << ", \"error\": \"" << json_escape(run.error) << "\"";
+        }
+        os << "}";
+      }
+      os << "]";
+    }
     if (r.agreement.checked) {
-      os << ", \"symbolic\": \"" << realizability_name(r.agreement.symbolic)
-         << "\", \"bounded\": \"" << realizability_name(r.agreement.bounded)
-         << "\", \"agree\": " << (r.agreement.agree() ? "true" : "false");
+      for (const auto& entry : r.agreement.verdicts) {
+        os << ", \"" << json_escape(entry.first) << "\": \""
+           << realizability_name(entry.second) << "\"";
+      }
+      os << ", \"agree\": " << (r.agreement.agree() ? "true" : "false");
     }
     if (!r.detail.empty()) {
       os << ", \"detail\": \"" << json_escape(r.detail) << "\"";
@@ -481,7 +514,13 @@ void print_summary(std::ostream& os, const BatchReport& report) {
       os << " (" << r.formulas << " formulas, " << r.inputs << " in, "
          << r.outputs << " out";
       if (r.refined) os << ", refined";
-      os << ", " << r.seconds << "s)";
+      os << ", " << r.seconds << "s";
+      if (r.portfolio.has_value() && !r.portfolio->winner.empty()) {
+        os << ", " << r.portfolio->winner << " won";
+      } else if (!r.substrate.empty()) {
+        os << ", " << r.substrate;
+      }
+      os << ")";
       if (!r.mus.empty()) {
         os << "\n    conflicting sentences:";
         for (const std::string& id : r.mus) os << " " << id;

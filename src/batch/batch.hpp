@@ -27,12 +27,16 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.hpp"
 #include "cache/store.hpp"
 #include "core/pipeline.hpp"
+#include "core/substrate.hpp"
 #include "synth/bounded.hpp"
 #include "translate/translator.hpp"
 
@@ -55,21 +59,34 @@ enum class TaskStatus {
 
 [[nodiscard]] const char* status_name(TaskStatus status);
 
-/// Substrate cross-check (optional): the same spec re-decided by each
-/// synthesis engine separately. Mirrors the difftest oracle's agreement
-/// property: opposite *definite* verdicts are a disagreement, kUnknown
-/// never is.
+/// Substrate cross-check (optional): the same spec re-decided by every
+/// registered substrate separately. Mirrors the difftest oracle's
+/// agreement property: opposite *definite* verdicts are a disagreement,
+/// kUnknown never is.
 struct AgreementStats {
   bool checked = false;
-  synth::Realizability symbolic = synth::Realizability::kUnknown;
-  synth::Realizability bounded = synth::Realizability::kUnknown;
+  /// (substrate name, verdict) in registry order (tableau, bounded,
+  /// symbolic for the builtins). Inapplicable substrates abstain with
+  /// kUnknown. Input-pure, so part of canonical().
+  std::vector<std::pair<std::string, synth::Realizability>> verdicts;
+
+  /// The verdict of one substrate; kUnknown when absent.
+  [[nodiscard]] synth::Realizability verdict_of(std::string_view name) const {
+    for (const auto& entry : verdicts) {
+      if (entry.first == name) return entry.second;
+    }
+    return synth::Realizability::kUnknown;
+  }
 
   [[nodiscard]] bool agree() const {
     using R = synth::Realizability;
-    const bool opposite =
-        (symbolic == R::kRealizable && bounded == R::kUnrealizable) ||
-        (symbolic == R::kUnrealizable && bounded == R::kRealizable);
-    return !checked || !opposite;
+    bool realizable = false;
+    bool unrealizable = false;
+    for (const auto& entry : verdicts) {
+      realizable |= entry.second == R::kRealizable;
+      unrealizable |= entry.second == R::kUnrealizable;
+    }
+    return !checked || !(realizable && unrealizable);
   }
 };
 
@@ -94,6 +111,14 @@ struct TaskResult {
   std::vector<std::vector<std::string>> correction_sets;
   AgreementStats agreement;
   // Diagnostics (excluded from the canonical form):
+  /// Which substrate produced the stage-2 verdict ("tableau", "bounded",
+  /// "symbolic"; empty for errored/cancelled tasks and pre-substrate cache
+  /// hits). Under a race spec this is the winner -- timing-dependent, so a
+  /// diagnostic like the timings.
+  std::string substrate;
+  /// Per-racer wall/verdict stats when stage 2 actually raced (kRace spec,
+  /// cache miss); see core/portfolio.hpp.
+  std::optional<core::PortfolioStats> portfolio;
   /// Per-task cache accounting (thread-local deltas, see
   /// cache::Store::thread_stats()): exact hits/misses/evictions this task
   /// caused, meaningful only when the pipeline ran with a store attached.
@@ -138,18 +163,14 @@ struct RunnerOptions {
   synth::BoundedOptions agreement_bounded = {.max_k = 4,
                                              .extract = false,
                                              .max_game_positions = 20'000,
-                                             .max_ucw_states = 150};
+                                             .max_ucw_states = 150,
+                                             .cancelled = {}};
 };
 
 /// Per-run limits, polled cooperatively at pipeline stage boundaries.
-struct RunLimits {
-  /// Wall-clock budget in seconds for this run; 0 means unlimited. The
-  /// serve layer derives it from the request deadline.
-  double budget_seconds = 0.0;
-  /// External cancellation (batch-wide cancel, serve shutdown); null
-  /// means never cancelled.
-  const std::atomic<bool>* cancel = nullptr;
-};
+/// Now defined next to the substrate layer it carries the per-request
+/// override for (budget_seconds, cancel, substrate).
+using RunLimits = core::RunLimits;
 
 /// A warm per-worker execution engine: one core::Pipeline built once
 /// (lexicon/dictionary/translator construction is the expensive part),
@@ -205,7 +226,8 @@ struct BatchOptions {
   synth::BoundedOptions agreement_bounded = {.max_k = 4,
                                              .extract = false,
                                              .max_game_positions = 20'000,
-                                             .max_ucw_states = 150};
+                                             .max_ucw_states = 150,
+                                             .cancelled = {}};
   /// Completion callback, invoked under the scheduler lock in completion
   /// order (not input order). Keep it cheap; it may run on any worker.
   std::function<void(const TaskResult&)> on_result;

@@ -303,6 +303,18 @@ util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
   return builder.finalize();
 }
 
+util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
+                           const synth::IoSignature& signature,
+                           const synth::SynthesisOptions& options,
+                           std::string_view substrate_spec) {
+  util::DigestBuilder builder("synthesis-substrate");
+  fold_formulas(builder, formulas);
+  fold_signature(builder, signature);
+  fold_options(builder, options);
+  builder.str(substrate_spec);
+  return builder.finalize();
+}
+
 util::Digest refinement_key(const std::vector<ltl::Formula>& formulas,
                             const synth::IoSignature& signature,
                             const synth::SynthesisOptions& options,

@@ -214,6 +214,16 @@ class Store {
                                          const synth::IoSignature& signature,
                                          const synth::SynthesisOptions& options);
 
+/// Level 2: synthesis under a non-auto substrate spec ("tableau",
+/// "race:...", ...). The spec string is folded in because different
+/// substrates are different computations (a tableau abstention must not
+/// shadow auto's definite verdict). Auto keeps the untagged key above, so
+/// stores warmed before the substrate layer stay valid.
+[[nodiscard]] util::Digest synthesis_key(const std::vector<ltl::Formula>& formulas,
+                                         const synth::IoSignature& signature,
+                                         const synth::SynthesisOptions& options,
+                                         std::string_view substrate_spec);
+
 /// Level 2: stage-3 refinement (formulas, initial partition via the
 /// signature it induces, synthesis options, localization options -- the
 /// cached outcome embeds the MUS and correction sets, which depend on the

@@ -19,7 +19,8 @@ Pipeline::Pipeline(PipelineOptions options)
 
 PipelineResult Pipeline::run(
     const std::string& name,
-    const std::vector<translate::RequirementText>& requirements) const {
+    const std::vector<translate::RequirementText>& requirements,
+    const SubstrateSpec* substrate_override) const {
   PipelineResult result;
   result.name = name;
 
@@ -107,21 +108,60 @@ PipelineResult Pipeline::run(
   signature.outputs.assign(result.partition.outputs.begin(),
                            result.partition.outputs.end());
 
+  // Effective substrate spec: the per-run override beats the configured
+  // spec; an auto spec with the deprecated engine enum set maps through the
+  // from_engine shim so old callers keep their engine choice.
+  SubstrateSpec effective =
+      substrate_override != nullptr ? *substrate_override : options_.substrate;
+  if (effective.is_auto() && options_.synthesis.engine != synth::Engine::kAuto) {
+    effective = SubstrateSpec::from_engine(options_.synthesis.engine);
+  }
+
+  // Stage-2 dispatch. Auto takes synth::synthesize exactly as before (and
+  // the pre-substrate cache key, so warmed stores stay valid); solo and
+  // race go through the registry. Any spec yields the same canonical
+  // verdict -- the substrates agree (core/substrate.hpp), and a race
+  // tie-breaks deterministically -- so only timings and diagnostics differ.
+  const auto check_realizability = [&]() -> synth::SynthesisResult {
+    if (effective.is_auto()) {
+      return synth::synthesize(formulas, signature, options_.synthesis);
+    }
+    if (effective.mode == SubstrateSpec::Mode::kSolo) {
+      const Substrate* substrate =
+          SubstrateRegistry::global().find(effective.substrates.front());
+      speccc_check(substrate != nullptr, "spec names a registered substrate");
+      return substrate->check(formulas, signature, options_.synthesis,
+                              options_.cancelled);
+    }
+    PortfolioStats stats;
+    synth::SynthesisResult raced =
+        PortfolioRunner(SubstrateRegistry::global(), effective)
+            .run(formulas, signature, options_.synthesis, options_.cancelled,
+                 &stats);
+    result.portfolio = std::move(stats);
+    return raced;
+  };
+
   util::Stopwatch stage2;
   if (store != nullptr) {
     // Verdict and engine statistics are pure functions of the key; the
     // result's embedded `seconds` is the original computation's timing (the
-    // caller-visible stage clock below is always fresh).
+    // caller-visible stage clock below is always fresh). Non-auto specs
+    // fold the spec string into the key: a tableau abstention and a raced
+    // verdict are different computations than auto's.
     const util::Digest key =
-        cache::synthesis_key(formulas, signature, options_.synthesis);
+        effective.is_auto()
+            ? cache::synthesis_key(formulas, signature, options_.synthesis)
+            : cache::synthesis_key(formulas, signature, options_.synthesis,
+                                   effective.to_string());
     if (auto hit = store->find_synthesis(key)) {
       result.synthesis = *std::move(hit);
     } else {
-      result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+      result.synthesis = check_realizability();
       store->put_synthesis(key, result.synthesis);
     }
   } else {
-    result.synthesis = synth::synthesize(formulas, signature, options_.synthesis);
+    result.synthesis = check_realizability();
   }
   result.synthesis_seconds = stage2.seconds();
   result.consistent =

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/store.hpp"
+#include "core/portfolio.hpp"
 #include "partition/partition.hpp"
 #include "refine/refine.hpp"
 #include "semantics/antonyms.hpp"
@@ -31,6 +32,14 @@ struct PipelineOptions {
   std::uint32_t error_budget = 5;  // the paper's B
   timeabs::Backend timeabs_backend = timeabs::Backend::kEnumeration;
   synth::SynthesisOptions synthesis;
+  /// Stage-2 decision substrate(s): "auto" (symbolic when applicable, else
+  /// bounded -- exactly the old kAuto behavior), a solo substrate name, or
+  /// "race:a,b,..." for first-verdict-wins portfolio racing
+  /// (core/substrate.hpp). When this is auto but synthesis.engine is the
+  /// deprecated kSymbolic/kBounded enum, the enum maps through
+  /// SubstrateSpec::from_engine. Canonical output is byte-identical for
+  /// every spec (the substrates agree; see core/portfolio.hpp).
+  SubstrateSpec substrate;
   partition::Overrides partition_overrides;
   /// Stage 3: run localization + partition adjustment when unrealizable.
   bool refine_on_failure = true;
@@ -69,6 +78,9 @@ struct PipelineResult {
   std::optional<timeabs::Abstraction> abstraction;
   partition::Partition partition;       // final partition (post-refinement)
   synth::SynthesisResult synthesis;     // the initial stage-2 verdict
+  /// Per-racer diagnostics when stage 2 actually raced (kRace spec, cache
+  /// miss). Non-canonical: which racer wins is timing-dependent.
+  std::optional<PortfolioStats> portfolio;
   std::optional<refine::RefinementOutcome> refinement;
   /// Requirements that are unsatisfiable on their own (no implementation of
   /// the whole specification can exist; reported before synthesis).
@@ -96,10 +108,13 @@ class Pipeline {
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
-  /// Run the full loop on a named specification.
+  /// Run the full loop on a named specification. `substrate_override`
+  /// (serve's per-request "substrate" field) replaces options().substrate
+  /// for this run only; not owned, may be null.
   [[nodiscard]] PipelineResult run(
       const std::string& name,
-      const std::vector<translate::RequirementText>& requirements) const;
+      const std::vector<translate::RequirementText>& requirements,
+      const SubstrateSpec* substrate_override = nullptr) const;
 
   [[nodiscard]] const PipelineOptions& options() const { return options_; }
 

@@ -65,10 +65,18 @@ std::string describe(const PipelineResult& result) {
      << " antonym pairs\n";
   os << "  stage 1 (translation): " << std::fixed << std::setprecision(4)
      << result.translation_seconds << " s\n";
-  os << "  stage 2 (synthesis):   " << result.synthesis_seconds << " s, engine "
-     << (result.synthesis.engine_used == synth::Engine::kSymbolic ? "symbolic"
-                                                                  : "bounded")
+  os << "  stage 2 (synthesis):   " << result.synthesis_seconds
+     << " s, substrate "
+     << (!result.synthesis.substrate_used.empty()
+             ? result.synthesis.substrate_used
+             : (result.synthesis.engine_used == synth::Engine::kSymbolic
+                    ? "symbolic"
+                    : "bounded"))
      << "\n";
+  if (result.portfolio.has_value() && !result.portfolio->winner.empty()) {
+    os << "    portfolio race won by " << result.portfolio->winner << " ("
+       << result.portfolio->runs.size() << " racers)\n";
+  }
   if (result.refinement.has_value()) {
     os << "  stage 3 (refinement):  " << result.refinement_seconds << " s, "
        << result.refinement->checks << " realizability checks\n";

@@ -64,8 +64,10 @@ struct OracleOptions {
   /// time-bounded: the bounded engine degrades to kUnknown (never counted
   /// as a disagreement) instead of exploring millions of counter
   /// positions. Generated realizable specs decide at k <= 2 in practice.
-  synth::BoundedOptions bounded = {
-      .max_k = 4, .max_game_positions = 20'000, .max_ucw_states = 150};
+  synth::BoundedOptions bounded = {.max_k = 4,
+                                   .max_game_positions = 20'000,
+                                   .max_ucw_states = 150,
+                                   .cancelled = {}};
   Evaluator evaluate;  // test injection point; defaults to ltl::evaluate
 };
 

@@ -37,11 +37,17 @@ bdd::Bdd cpre(const SymbolicGame& game, bdd::Bdd target) {
   return mgr.forall(sys_can, game.input_vars);
 }
 
-SymbolicSolution solve(const SymbolicGame& game) {
+SymbolicSolution solve(const SymbolicGame& game,
+                       const std::function<bool()>& cancelled) {
   speccc_check(game.manager != nullptr, "game needs a manager");
   speccc_check(game.next_state.size() == game.state_vars.size(),
                "one transition function per state variable");
   bdd::Manager& mgr = *game.manager;
+  const auto poll = [&cancelled]() {
+    if (cancelled && cancelled()) {
+      throw util::CancelledError("symbolic game solve cancelled");
+    }
+  };
 
   // The initial predicate is one minterm over the state variables, so
   // containment in the winning region (forall s. initial -> W, a fused
@@ -57,6 +63,7 @@ SymbolicSolution solve(const SymbolicGame& game) {
   // Pure safety: nu Z. CPre(Z).
   if (game.buchi.empty()) {
     for (;;) {
+      poll();
       ++solution.iterations;
       const bdd::Bdd next = cpre(game, z);
       // CPre is monotone and we start at true, so the sequence decreases.
@@ -74,6 +81,7 @@ SymbolicSolution solve(const SymbolicGame& game) {
   // Generalized Buechi: nu Z. AND_j mu Y. CPre((F_j and CPre(Z)) or Y).
   // We keep the final mu stages for strategy extraction.
   for (;;) {
+    poll();
     ++solution.iterations;
     bdd::Bdd conj = mgr.bdd_true();
     std::vector<std::vector<bdd::Bdd>> stages;
@@ -85,6 +93,7 @@ SymbolicSolution solve(const SymbolicGame& game) {
       std::vector<bdd::Bdd> mu_stages;
       bdd::Bdd y = mgr.bdd_false();
       for (;;) {
+        poll();
         const bdd::Bdd next = mgr.bdd_or(target, cpre(game, y));
         if (next == y) break;
         mu_stages.push_back(next);

@@ -18,6 +18,7 @@
 // the environment wins, i.e. the specification is unrealizable.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "bdd/bdd.hpp"
@@ -55,8 +56,11 @@ struct SymbolicSolution {
 };
 
 /// Solve the game. The returned solution holds all BDDs needed for strategy
-/// extraction (see synth::extract_mealy).
-[[nodiscard]] SymbolicSolution solve(const SymbolicGame& game);
+/// extraction (see synth::extract_mealy). `cancelled` is polled once per
+/// fixpoint round (outer nu and inner mu); returning true raises
+/// util::CancelledError (portfolio racers cancel losing solves here).
+[[nodiscard]] SymbolicSolution solve(
+    const SymbolicGame& game, const std::function<bool()>& cancelled = {});
 
 /// Controllable predecessor of a state-set T: states where, whatever inputs
 /// the environment picks, the system has outputs keeping the step safe and

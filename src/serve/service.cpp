@@ -174,6 +174,9 @@ void Service::process(Item item, batch::TaskRunner& runner) {
   } else {
     batch::RunLimits limits;
     limits.budget_seconds = budget_seconds;  // 0 = unlimited
+    if (item.request.substrate.has_value()) {
+      limits.substrate = &*item.request.substrate;
+    }
     batch::TaskResult result = runner.run(item.request.spec, limits);
     if (result.status == batch::TaskStatus::kBudgetExhausted &&
         item.has_deadline) {

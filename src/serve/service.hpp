@@ -43,6 +43,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "batch/batch.hpp"
 #include "cache/store.hpp"
 #include "core/pipeline.hpp"
+#include "core/substrate.hpp"
 
 namespace speccc::serve {
 
@@ -77,6 +79,11 @@ struct Request {
   /// Relative deadline in seconds, measured from admission (queue time
   /// counts). <= 0 means "use the service default".
   double deadline_seconds = 0.0;
+  /// Per-request substrate override (the wire protocol's optional
+  /// "substrate" field): replaces the service pipeline's configured spec
+  /// for this request only. Canonical output is unaffected -- substrates
+  /// agree -- so mixed-substrate traffic stays byte-comparable with batch.
+  std::optional<core::SubstrateSpec> substrate;
 };
 
 enum class ResponseKind {

@@ -28,13 +28,15 @@ class BoundedGame {
  public:
   BoundedGame(const Buchi& ucw, std::vector<ltl::Valuation> first_letters,
               std::vector<ltl::Valuation> second_letters, bool safe_moves_second,
-              int k, std::size_t max_positions)
+              int k, std::size_t max_positions,
+              const std::function<bool()>& cancelled)
       : ucw_(ucw),
         first_letters_(std::move(first_letters)),
         second_letters_(std::move(second_letters)),
         safe_second_(safe_moves_second),
         k_(k),
-        max_positions_(max_positions) {
+        max_positions_(max_positions),
+        cancelled_(cancelled) {
     // Pre-merge letters: valuation of a step is the union of the first and
     // second mover's letters (they range over disjoint propositions).
     build();
@@ -112,6 +114,9 @@ class BoundedGame {
         safe_second_ ? game::Owner::kSafe : game::Owner::kReach;
 
     while (!frontier_.empty()) {
+      if (cancelled_ && cancelled_()) {
+        throw util::CancelledError("bounded game construction cancelled");
+      }
       if (arena_.size() > max_positions_) {
         aborted_ = true;
         return;  // partial arena: solving it would prove nothing
@@ -144,6 +149,7 @@ class BoundedGame {
   bool safe_second_;
   int k_;
   std::size_t max_positions_;
+  const std::function<bool()>& cancelled_;
   bool aborted_ = false;
 
   game::Arena arena_;
@@ -234,7 +240,8 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
   }
 
   BoundedOutcome outcome;
-  const auto primal_opt = automata::ucw_for_bounded(spec, options.max_ucw_states);
+  const auto primal_opt = automata::ucw_for_bounded(spec, options.max_ucw_states,
+                                                    options.cancelled);
   if (!primal_opt) {
     outcome.aborted = true;
     return outcome;
@@ -245,8 +252,8 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
     outcome.aborted = true;
     return outcome;
   }
-  const auto dual_opt =
-      automata::ucw_for_bounded(ltl::lnot(spec), options.max_ucw_states);
+  const auto dual_opt = automata::ucw_for_bounded(
+      ltl::lnot(spec), options.max_ucw_states, options.cancelled);
   if (!dual_opt || dual_opt->num_states() > options.max_ucw_states) {
     outcome.aborted = true;
     return outcome;
@@ -256,9 +263,12 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
   const auto outputs = enumerate_letters(signature.outputs);
 
   for (int k = 0; k <= options.max_k; ++k) {
+    if (options.cancelled && options.cancelled()) {
+      throw util::CancelledError("bounded synthesis cancelled");
+    }
     // Primal: environment picks inputs first, system responds; system SAFE.
     BoundedGame primal(primal_ucw, inputs, outputs, /*safe_moves_second=*/true,
-                       k, options.max_game_positions);
+                       k, options.max_game_positions, options.cancelled);
     outcome.game_positions = std::max(outcome.game_positions, primal.positions());
     if (primal.safe_player_wins()) {
       outcome.verdict = Realizability::kRealizable;
@@ -269,7 +279,7 @@ BoundedOutcome bounded_synthesize(ltl::Formula spec, const IoSignature& signatur
     // Dual: environment commits inputs first and must keep the UCW of !spec
     // bounded; the system responds adversarially. Environment SAFE.
     BoundedGame dual(dual_ucw, inputs, outputs, /*safe_moves_second=*/false, k,
-                     options.max_game_positions);
+                     options.max_game_positions, options.cancelled);
     outcome.game_positions = std::max(outcome.game_positions, dual.positions());
     if (dual.safe_player_wins()) {
       outcome.verdict = Realizability::kUnrealizable;

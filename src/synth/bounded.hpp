@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "ltl/formula.hpp"
@@ -45,6 +46,11 @@ struct BoundedOptions {
   /// before any game is played: a big UCW makes every counter game blow
   /// past max_game_positions anyway, so playing them only burns time.
   std::size_t max_ucw_states = SIZE_MAX;
+  /// Cooperative cancellation, polled in the UCW construction, the game
+  /// frontier, and the k-escalation loop; returning true raises
+  /// util::CancelledError. Null is never cancelled. Last member on
+  /// purpose: existing designated initializers stay valid.
+  std::function<bool()> cancelled;
 };
 
 struct BoundedOutcome {

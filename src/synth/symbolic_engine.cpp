@@ -164,7 +164,8 @@ std::optional<SymbolicOutcome> symbolic_synthesize(
   auto compiled = compile_monitors(manager, spec, signature);
   if (!compiled) return std::nullopt;
 
-  const SymbolicSolution solution = game::solve(compiled->game);
+  const SymbolicSolution solution =
+      game::solve(compiled->game, options.cancelled);
 
   SymbolicOutcome outcome;
   outcome.verdict = solution.realizable ? Realizability::kRealizable

@@ -9,6 +9,7 @@
 // unrealizable" with no bound escalation needed).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,9 @@ namespace speccc::synth {
 struct SymbolicOptions {
   bool extract = false;  // build a Mealy controller (enumerates inputs!)
   std::size_t max_extract_inputs = 12;  // extraction cap on |inputs|
+  /// Cooperative cancellation, polled once per game fixpoint round;
+  /// returning true raises util::CancelledError. Null is never cancelled.
+  std::function<bool()> cancelled;
 };
 
 struct SymbolicOutcome {

@@ -15,6 +15,7 @@ std::optional<SynthesisResult> try_symbolic(
   SynthesisResult result;
   result.verdict = outcome->verdict;
   result.engine_used = Engine::kSymbolic;
+  result.substrate_used = "symbolic";
   result.state_bits = outcome->state_bits;
   result.peak_bdd_nodes = outcome->peak_bdd_nodes;
   result.bdd_stats = outcome->bdd_stats;
@@ -33,6 +34,7 @@ SynthesisResult run_bounded(const std::vector<ltl::Formula>& requirements,
   SynthesisResult result;
   result.verdict = outcome.verdict;
   result.engine_used = Engine::kBounded;
+  result.substrate_used = "bounded";
   result.ucw_states = outcome.ucw_states;
   result.game_positions = outcome.game_positions;
   result.iterations = outcome.k_used;

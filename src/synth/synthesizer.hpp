@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "ltl/formula.hpp"
@@ -32,6 +33,10 @@ struct SynthesisOptions {
 struct SynthesisResult {
   Realizability verdict = Realizability::kUnknown;
   Engine engine_used = Engine::kAuto;
+  /// Name of the core::Substrate that produced the verdict ("tableau",
+  /// "bounded", "symbolic"); set by the substrate layer and by
+  /// synthesize(). Non-canonical diagnostic.
+  std::string substrate_used;
   /// Wall-clock seconds of the realizability check (Table I's time column).
   double seconds = 0.0;
   /// Engine statistics (whichever engine ran).

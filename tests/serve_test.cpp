@@ -195,6 +195,83 @@ TEST(ServeProtocol, RendersResultWithEmbeddedCanonicalLine) {
   EXPECT_EQ(doc.find("canonical")->as_string(), expected);
 }
 
+TEST(ServeProtocol, ParsesOptionalSubstrateField) {
+  const serve::ParsedRequest raced = serve::parse_request(
+      R"({"method":"check","requirements":["x is set"],)"
+      R"("substrate":"race:tableau,bounded"})");
+  ASSERT_TRUE(raced.request.substrate.has_value());
+  EXPECT_EQ(raced.request.substrate->to_string(), "race:tableau,bounded");
+
+  const serve::ParsedRequest plain = serve::parse_request(
+      R"({"method":"check","requirements":["x is set"]})");
+  EXPECT_FALSE(plain.request.substrate.has_value());
+
+  // An unparseable spec is a protocol error like any malformed field.
+  EXPECT_THROW(
+      serve::parse_request(R"({"method":"check","requirements":["x is set"],)"
+                           R"("substrate":"race:tableau"})"),
+      ParseError);
+  EXPECT_THROW(
+      serve::parse_request(R"({"method":"check","requirements":["x is set"],)"
+                           R"("substrate":"warp"})"),
+      ParseError);
+}
+
+TEST(ServeProtocol, RendersRacedResultWithWonAndSubstrateStats) {
+  batch::TaskResult result;
+  result.name = "doors";
+  result.status = batch::TaskStatus::kConsistent;
+  result.substrate = "symbolic";
+  speccc::core::PortfolioStats portfolio;
+  portfolio.winner = "symbolic";
+  speccc::core::SubstrateRunStats tableau_run;
+  tableau_run.name = "tableau";
+  tableau_run.cancelled = true;
+  speccc::core::SubstrateRunStats symbolic_run;
+  symbolic_run.name = "symbolic";
+  symbolic_run.verdict = speccc::synth::Realizability::kRealizable;
+  symbolic_run.wall_seconds = 0.004;
+  symbolic_run.won = true;
+  portfolio.runs = {tableau_run, symbolic_run};
+  result.portfolio = portfolio;
+
+  serve::Response response;
+  response.id = "r7";
+  response.kind = serve::ResponseKind::kResult;
+  response.result = result;
+
+  const json::Value doc = json::parse(serve::render_response(response));
+  EXPECT_EQ(doc.find("substrate")->as_string(), "symbolic");
+  EXPECT_EQ(doc.find("won")->as_string(), "symbolic");
+  const auto& runs = doc.find("substrates")->as_array();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].find("name")->as_string(), "tableau");
+  EXPECT_TRUE(runs[0].find("cancelled")->as_bool());
+  EXPECT_EQ(runs[1].find("name")->as_string(), "symbolic");
+  EXPECT_EQ(runs[1].find("verdict")->as_string(), "realizable");
+  EXPECT_TRUE(runs[1].find("won")->as_bool());
+
+  // The race diagnostics ride ALONGSIDE the canonical row, never in it:
+  // the embedded field stays byte-identical to an unraced result's.
+  std::string expected = batch::canonical_line(result);
+  expected.pop_back();
+  EXPECT_EQ(doc.find("canonical")->as_string(), expected);
+  EXPECT_EQ(expected.find("won"), std::string::npos);
+
+  // Unraced results carry neither field.
+  batch::TaskResult bare;
+  bare.name = "doors";
+  bare.status = batch::TaskStatus::kConsistent;
+  serve::Response bare_response;
+  bare_response.id = "r8";
+  bare_response.kind = serve::ResponseKind::kResult;
+  bare_response.result = bare;
+  const json::Value bare_doc =
+      json::parse(serve::render_response(bare_response));
+  EXPECT_EQ(bare_doc.find("won"), nullptr);
+  EXPECT_EQ(bare_doc.find("substrates"), nullptr);
+}
+
 TEST(ServeProtocol, RendersRejectionAndErrorKinds) {
   serve::Response rejection;
   rejection.id = "r2";
@@ -260,6 +337,31 @@ TEST(ServeService, VerdictsAreByteIdenticalToBatch) {
   const serve::ServiceStats stats = service.stats();
   EXPECT_EQ(stats.completed, specs.size());
   EXPECT_EQ(stats.rejected, 0u);
+}
+
+TEST(ServeService, PerRequestSubstrateOverrideKeepsCanonicalParity) {
+  // A raced request must answer the same canonical line as the unraced
+  // default -- mixed-substrate traffic stays byte-comparable with batch --
+  // while carrying the race diagnostics alongside.
+  serve::ServiceOptions options;
+  options.workers = 1;
+  serve::Service service(options);
+
+  const serve::Response plain = service.check(make_request("p", door_spec()));
+  ASSERT_EQ(plain.kind, serve::ResponseKind::kResult) << plain.error;
+
+  serve::Request raced_request = make_request("r", door_spec());
+  raced_request.substrate =
+      speccc::core::SubstrateSpec::parse("race:tableau,bounded,symbolic");
+  const serve::Response raced = service.check(std::move(raced_request));
+  ASSERT_EQ(raced.kind, serve::ResponseKind::kResult) << raced.error;
+
+  EXPECT_EQ(batch::canonical_line(raced.result),
+            batch::canonical_line(plain.result));
+  ASSERT_TRUE(raced.result.portfolio.has_value());
+  EXPECT_EQ(raced.result.portfolio->runs.size(), 3u);
+  EXPECT_FALSE(raced.result.substrate.empty());
+  EXPECT_FALSE(plain.result.portfolio.has_value());
 }
 
 TEST(ServeService, BackpressureRejectsWithRetryHintAndAnswersEveryRequest) {

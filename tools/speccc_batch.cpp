@@ -31,8 +31,17 @@
 //                      determinism contract in printable form
 //   --time-budget S    per-task budget in seconds, enforced at pipeline
 //                      stage boundaries (expired tasks: budget-exhausted)
-//   --crosscheck       re-decide each spec with both synthesis engines and
-//                      report substrate agreement
+//   --substrate SPEC   decision substrate: "auto" (default; the staged
+//                      symbolic-then-bounded escalation), a single
+//                      substrate name (tableau | bounded | symbolic), or
+//                      "race:a,b,..." to race two or more substrates per
+//                      spec, first definite verdict wins. Racing is
+//                      verdict-transparent: canonical output is
+//                      byte-identical race-on vs race-off (a solo
+//                      substrate may abstain where auto decides). An
+//                      unparseable SPEC is rejected with a diagnostic
+//   --crosscheck       re-decide each spec with every registered substrate
+//                      and report substrate agreement
 //   --diagnose         enumerate minimal correction sets for genuinely
 //                      inconsistent specs (up to 4; see below). The MUS
 //                      ("mus=" in canonical output, "conflicting
@@ -95,6 +104,7 @@ int usage() {
          "                    [--corpus cara|tele|robot|table1]\n"
          "                    [--generate N] [--seed S] [--jobs N]\n"
          "                    [--json FILE] [--canonical] [--time-budget S]\n"
+         "                    [--substrate auto|NAME|race:a,b,...]\n"
          "                    [--crosscheck] [--diagnose]\n"
          "                    [--max-correction-sets N]\n"
          "                    [--strict-next] [--quiet]\n"
@@ -191,6 +201,14 @@ int main(int argc, char** argv) {
         canonical_output = true;
       } else if (arg == "--time-budget") {
         options.task_time_budget_seconds = std::atof(next_arg().c_str());
+      } else if (arg == "--substrate") {
+        const std::string spec = next_arg();
+        try {
+          options.pipeline.substrate = core::SubstrateSpec::parse(spec);
+        } catch (const util::InvalidInputError& e) {
+          std::cerr << "invalid --substrate: " << e.what() << "\n";
+          return usage();
+        }
       } else if (arg == "--crosscheck") {
         options.check_agreement = true;
       } else if (arg == "--diagnose") {

@@ -29,6 +29,11 @@
 //   --cache-max N         store entry cap per artifact kind (default 65536)
 //   --eviction fifo|lru   store eviction policy (default lru; batch's FIFO
 //                         default is wrong for a resident process)
+//   --substrate SPEC      default decision substrate for every request:
+//                         "auto" (default), a substrate name (tableau |
+//                         bounded | symbolic), or "race:a,b,...".
+//                         Per-request "substrate" fields override it.
+//                         An unparseable SPEC is rejected at startup
 //   --strict-next         translate "next" as a real X operator
 //   --diagnose            enumerate minimal correction sets (up to 4) for
 //                         inconsistent specs, like speccc_batch --diagnose
@@ -56,9 +61,11 @@
 #include <unistd.h>
 
 #include "cache/store.hpp"
+#include "core/substrate.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
+#include "util/diagnostics.hpp"
 
 namespace {
 
@@ -67,7 +74,9 @@ int usage() {
       << "usage: speccc_serve [--port N] [--port-file FILE] [--workers N]\n"
          "                    [--queue-max N] [--default-deadline-ms N]\n"
          "                    [--no-cache] [--cache-max N]\n"
-         "                    [--eviction fifo|lru] [--strict-next]\n"
+         "                    [--eviction fifo|lru]\n"
+         "                    [--substrate auto|NAME|race:a,b,...]\n"
+         "                    [--strict-next]\n"
          "                    [--diagnose] [--max-correction-sets N]\n"
          "                    [--quiet]\n";
   return 1;
@@ -215,6 +224,14 @@ int main(int argc, char** argv) {
       else if (which == "lru") eviction = cache::Eviction::kLru;
       else {
         std::cerr << "unknown eviction policy: " << which << "\n";
+        return usage();
+      }
+    } else if (arg == "--substrate") {
+      const std::string spec = next_arg();
+      try {
+        options.pipeline.substrate = core::SubstrateSpec::parse(spec);
+      } catch (const util::InvalidInputError& e) {
+        std::cerr << "invalid --substrate: " << e.what() << "\n";
         return usage();
       }
     } else if (arg == "--strict-next") {
