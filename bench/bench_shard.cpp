@@ -1,0 +1,145 @@
+// Sharding + snapshot benchmarks: the cache/snapshot.hpp serialization
+// costs and the shard/coordinator.hpp merge overhead, all in-process (the
+// subprocess spawn cost is environment noise the CI bench job must not
+// track).
+//
+//   * BM_SnapshotSave / BM_SnapshotLoad: serializing a Table-I-warm store
+//     to disk and validating + loading it back -- the per-run overhead a
+//     warm start pays before the first hit.
+//   * BM_WarmStartTable1: the payoff row. Arg(0)=0 checks Table I against
+//     a cold store; Arg(1)=1 loads the snapshot first, so the batch runs
+//     all-hits. The gap is what `--cache-snapshot` buys a CI job.
+//   * BM_ShardStoreMerge/K: union-merging K per-shard stores into one
+//     combined store (the coordinator's snapshot-merge step after all
+//     shards finish), K in {2, 4, 8}.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "batch/corpus_tasks.hpp"
+#include "cache/snapshot.hpp"
+#include "cache/store.hpp"
+#include "nlp/lexicon.hpp"
+#include "shard/splitter.hpp"
+
+namespace {
+
+using speccc::batch::BatchOptions;
+using speccc::batch::SpecTask;
+using speccc::cache::Store;
+using speccc::cache::StoreOptions;
+
+std::string snapshot_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("speccc_bench_shard_") + name + ".snap"))
+      .string();
+}
+
+/// A store warmed by one full Table I batch (the steady-state contents a
+/// shard snapshot carries).
+std::shared_ptr<Store> warm_table1_store() {
+  auto store = std::make_shared<Store>();
+  BatchOptions options;
+  options.jobs = 1;
+  options.pipeline.cache = store;
+  benchmark::DoNotOptimize(
+      speccc::batch::check(speccc::batch::table1_tasks(), options));
+  return store;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto store = warm_table1_store();
+  const auto stamp = speccc::nlp::Lexicon::builtin().fingerprint();
+  const std::string path = snapshot_path("save");
+  for (auto _ : state) {
+    speccc::cache::save_snapshot(*store, path, stamp);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                static_cast<std::int64_t>(store->size())));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMicrosecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto store = warm_table1_store();
+  const auto stamp = speccc::nlp::Lexicon::builtin().fingerprint();
+  const std::string path = snapshot_path("load");
+  speccc::cache::save_snapshot(*store, path, stamp);
+  for (auto _ : state) {
+    Store fresh;
+    const auto meta = speccc::cache::load_snapshot(fresh, path, stamp);
+    benchmark::DoNotOptimize(meta.entries);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                static_cast<std::int64_t>(store->size())));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMicrosecond);
+
+/// Cold (Arg 0) vs. snapshot-warm (Arg 1) Table I batch: the warm rows
+/// pay a load_snapshot, then check everything out of the store.
+void BM_WarmStartTable1(benchmark::State& state) {
+  const std::vector<SpecTask> tasks = speccc::batch::table1_tasks();
+  const auto stamp = speccc::nlp::Lexicon::builtin().fingerprint();
+  const std::string path = snapshot_path("warm");
+  speccc::cache::save_snapshot(*warm_table1_store(), path, stamp);
+
+  std::size_t checked = 0;
+  for (auto _ : state) {
+    BatchOptions options;
+    options.jobs = 1;
+    options.pipeline.cache = std::make_shared<Store>();
+    if (state.range(0) != 0) {
+      speccc::cache::load_snapshot(*options.pipeline.cache, path, stamp);
+    }
+    const auto report = speccc::batch::check(tasks, options);
+    benchmark::DoNotOptimize(report.consistent);
+    checked += report.results.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(checked));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_WarmStartTable1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The coordinator's merge step: K per-shard stores (each warmed by its
+/// round-robin slice of Table I) union-merged into one combined store.
+void BM_ShardStoreMerge(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const std::vector<SpecTask> tasks = speccc::batch::table1_tasks();
+  std::vector<std::shared_ptr<Store>> shard_stores;
+  for (int s = 0; s < shards; ++s) {
+    std::vector<SpecTask> mine;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (speccc::shard::shard_of(i, static_cast<std::size_t>(shards)) ==
+          static_cast<std::size_t>(s)) {
+        mine.push_back(tasks[i]);
+      }
+    }
+    BatchOptions options;
+    options.jobs = 1;
+    options.pipeline.cache = std::make_shared<Store>();
+    benchmark::DoNotOptimize(speccc::batch::check(mine, options));
+    shard_stores.push_back(options.pipeline.cache);
+  }
+
+  std::size_t merged = 0;
+  for (auto _ : state) {
+    Store combined(StoreOptions{.max_entries = 0});
+    for (const auto& store : shard_stores) merged += combined.merge(*store);
+    benchmark::DoNotOptimize(combined.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(merged));
+}
+BENCHMARK(BM_ShardStoreMerge)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -9,7 +9,8 @@ Used by the CI bench job:
 Merges the per-binary benchmark JSON files into one document (first file's
 context wins, benchmarks arrays concatenate), writes it to --out, and
 compares every benchmark's real_time against the committed baseline by
-name. Regressions beyond --threshold percent produce warnings (GitHub
+name, printing deltas worst-regression-first. Regressions beyond
+--threshold percent produce warnings (GitHub
 ``::warning::`` annotations when running under Actions) but exit 0 --
 benchmark noise on shared runners must not gate merges. Pass --strict to
 exit 1 on regressions instead.
@@ -100,15 +101,18 @@ def main() -> int:
     base_times = real_times_ns(load(args.baseline))
     new_times = real_times_ns(latest)
 
+    for name in sorted(set(new_times) - set(base_times)):
+        print(f"  new benchmark (no baseline): {name}")
+
+    # Worst regression first, so the line that matters is the line you
+    # read first (and the one a truncated CI log still shows).
+    deltas = sorted(
+        ((100.0 * (new_times[n] - base_times[n]) / base_times[n], n)
+         for n in new_times if base_times.get(n, 0) > 0),
+        reverse=True)
     regressions = 0
-    for name in sorted(new_times):
-        if name not in base_times:
-            print(f"  new benchmark (no baseline): {name}")
-            continue
+    for delta, name in deltas:
         base, new = base_times[name], new_times[name]
-        if base <= 0:
-            continue
-        delta = 100.0 * (new - base) / base
         marker = ""
         if delta > args.threshold:
             regressions += 1
@@ -120,9 +124,10 @@ def main() -> int:
     for name in missing:
         warn(f"baseline benchmark missing from this run: {name}")
     if missing:
-        print(f"error: {len(missing)} baseline benchmark(s) did not run; "
-              "a silently-skipped bench target cannot be allowed to regress "
-              "unnoticed (remove stale baseline entries deliberately)",
+        print(f"error: {len(missing)} baseline benchmark(s) did not run: "
+              + ", ".join(missing) + "; a silently-skipped bench target "
+              "cannot be allowed to regress unnoticed (remove stale "
+              "baseline entries deliberately)",
               file=sys.stderr)
         return 1
 

@@ -97,6 +97,33 @@ if [[ -x "$batch_bin" ]]; then
     cat "$fault_report" >&2
     exit 1
   fi
+  # Shard smoke: the subprocess coordinator's interleaved merge must be
+  # byte-identical to the unsharded canonical report
+  # (shard/coordinator.hpp's determinism contract).
+  shard_bin="$build_dir/tools/speccc_shard"
+  if [[ -x "$shard_bin" ]]; then
+    echo "speccc_shard smoke (canonical diff, 3 shards vs unsharded)"
+    "$shard_bin" --shards 3 --jobs-per-shard "$batch_jobs" --quiet --canonical \
+      "$repo_root/examples/specs" > "$build_dir/batch-smoke-shard.txt"
+    diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-shard.txt"
+  fi
+  # Snapshot smoke: a cold run that saves a warm-start snapshot and a warm
+  # run that loads it must both match the plain canonical report, and the
+  # warm run must be all hits (cache/snapshot.hpp's exactness contract).
+  echo "speccc_batch snapshot smoke (save, reload, assert zero misses)"
+  snap="$build_dir/batch-smoke.snap"
+  rm -f "$snap"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical \
+    --cache-snapshot ",$snap" \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-snap-cold.txt"
+  diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-snap-cold.txt"
+  "$batch_bin" --jobs "$batch_jobs" --quiet --canonical --cache-stats \
+    --cache-snapshot "$snap," \
+    "$repo_root/examples/specs" > "$build_dir/batch-smoke-snap-warm.txt" \
+    2> "$build_dir/batch-smoke-snap-stats.txt"
+  diff "$build_dir/batch-smoke-plain.txt" "$build_dir/batch-smoke-snap-warm.txt"
+  grep -q " 0 misses, L2 " "$build_dir/batch-smoke-snap-stats.txt"
+  grep -q " 0 misses, 0 evictions" "$build_dir/batch-smoke-snap-stats.txt"
 else
   echo "note: $batch_bin not built (SPECCC_BUILD_TOOLS=OFF?); smoke skipped"
 fi

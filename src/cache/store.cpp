@@ -106,6 +106,15 @@ std::size_t ShardedMap<Value>::put(const util::Digest& key, const Value& value) 
 }
 
 template <typename Value>
+void ShardedMap<Value>::for_each(
+    const std::function<void(const util::Digest&, const Value&)>& visit) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& entry : shard.entries) visit(entry.first, entry.second);
+  }
+}
+
+template <typename Value>
 std::size_t ShardedMap<Value>::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
@@ -226,6 +235,61 @@ StatsSnapshot Store::stats() const {
 std::size_t Store::size() const {
   return sentences_.size() + satisfiable_.size() + synthesis_.size() +
          refinement_.size() + abstraction_.size();
+}
+
+void Store::for_each_sentence(
+    const std::function<void(const util::Digest&, const nlp::Sentence&)>& visit)
+    const {
+  sentences_.for_each(visit);
+}
+
+void Store::for_each_satisfiable(
+    const std::function<void(const util::Digest&, bool)>& visit) const {
+  satisfiable_.for_each(visit);
+}
+
+void Store::for_each_synthesis(
+    const std::function<void(const util::Digest&, const synth::SynthesisResult&)>&
+        visit) const {
+  synthesis_.for_each(visit);
+}
+
+void Store::for_each_refinement(
+    const std::function<void(const util::Digest&,
+                             const refine::RefinementOutcome&)>& visit) const {
+  refinement_.for_each(visit);
+}
+
+void Store::for_each_abstraction(
+    const std::function<void(const util::Digest&, const timeabs::Abstraction&)>&
+        visit) const {
+  abstraction_.for_each(visit);
+}
+
+std::size_t Store::merge(const Store& other) {
+  // put() is first-writer-wins, so merging never overwrites an existing
+  // entry; the eviction counters still record any overflow the merge
+  // causes under a capped store.
+  const std::size_t before = size();
+  other.for_each_sentence([this](const util::Digest& key, const nlp::Sentence& v) {
+    put_sentence(key, v);
+  });
+  other.for_each_satisfiable(
+      [this](const util::Digest& key, bool v) { put_satisfiable(key, v); });
+  other.for_each_synthesis(
+      [this](const util::Digest& key, const synth::SynthesisResult& v) {
+        put_synthesis(key, v);
+      });
+  other.for_each_refinement(
+      [this](const util::Digest& key, const refine::RefinementOutcome& v) {
+        put_refinement(key, v);
+      });
+  other.for_each_abstraction(
+      [this](const util::Digest& key, const timeabs::Abstraction& v) {
+        put_abstraction(key, v);
+      });
+  const std::size_t after = size();
+  return after - before;
 }
 
 // ---- Key derivation ---------------------------------------------------------

@@ -54,6 +54,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <list>
 #include <optional>
@@ -129,6 +130,12 @@ class ShardedMap {
   /// Returns evictions made.
   std::size_t put(const util::Digest& key, const Value& value);
   [[nodiscard]] std::size_t size() const;
+  /// Visit every live entry (shard by shard, insertion order within a
+  /// shard; callers needing a deterministic order sort by key). The
+  /// callback runs under the shard lock: keep it cheap and never call back
+  /// into the same map.
+  void for_each(
+      const std::function<void(const util::Digest&, const Value&)>& visit) const;
 
  private:
   struct Shard;
@@ -167,6 +174,31 @@ class Store {
   /// Total live entries across every artifact kind.
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] const StoreOptions& options() const { return options_; }
+
+  // ---- Enumeration + merge (the snapshot surface, cache/snapshot.hpp) ------
+  // Entry visitors per artifact kind. Iteration order is unspecified (the
+  // snapshot writer sorts by key); callbacks run under shard locks and do
+  // not touch the hit/miss counters.
+  void for_each_sentence(
+      const std::function<void(const util::Digest&, const nlp::Sentence&)>& visit)
+      const;
+  void for_each_satisfiable(
+      const std::function<void(const util::Digest&, bool)>& visit) const;
+  void for_each_synthesis(
+      const std::function<void(const util::Digest&, const synth::SynthesisResult&)>&
+          visit) const;
+  void for_each_refinement(
+      const std::function<void(const util::Digest&,
+                               const refine::RefinementOutcome&)>& visit) const;
+  void for_each_abstraction(
+      const std::function<void(const util::Digest&, const timeabs::Abstraction&)>&
+          visit) const;
+
+  /// Copy every entry of `other` absent from this store (first writer
+  /// wins, like racing put()s; this store's eviction policy and caps
+  /// apply). The shard coordinator merges per-shard snapshot stores with
+  /// this. Returns entries added.
+  std::size_t merge(const Store& other);
 
   /// Per-thread counters: every hit/miss/eviction any Store records on the
   /// calling thread also accumulates into a thread-local snapshot. A serve

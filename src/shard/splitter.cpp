@@ -1,0 +1,32 @@
+#include "shard/splitter.hpp"
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::shard {
+
+std::size_t shard_of(std::size_t index, std::size_t shards) {
+  speccc_check(shards > 0, "shard_of: shards must be positive");
+  return index % shards;
+}
+
+std::size_t shard_size(std::size_t count, std::size_t shards,
+                       std::size_t which) {
+  speccc_check(shards > 0, "shard_size: shards must be positive");
+  speccc_check(which < shards, "shard_size: shard index out of range");
+  return count / shards + (which < count % shards ? 1 : 0);
+}
+
+std::vector<std::vector<std::size_t>> split_round_robin(std::size_t count,
+                                                        std::size_t shards) {
+  speccc_check(shards > 0, "split_round_robin: shards must be positive");
+  std::vector<std::vector<std::size_t>> assignment(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    assignment[s].reserve(shard_size(count, shards, s));
+  }
+  for (std::size_t index = 0; index < count; ++index) {
+    assignment[index % shards].push_back(index);
+  }
+  return assignment;
+}
+
+}  // namespace speccc::shard

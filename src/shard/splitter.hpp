@@ -1,0 +1,40 @@
+// Deterministic corpus sharding (ROADMAP item 4's distributed half,
+// modeled on abc-zz's ZZ/Cluster job dealing): split an input-ordered
+// task list across K process-level shards round-robin, so every shard
+// gets a near-equal share and the assignment is a pure function of
+// (count, shards) -- no sizes, no timings, no randomness.
+//
+// Round-robin by input order is the same deal rule the in-process batch
+// scheduler uses for its worker deques, and it composes with the merge
+// step: shard s holds global indices s, s+K, s+2K, ..., so interleaving
+// the per-shard reports row by row reconstructs exactly the global input
+// order (shard/coordinator.hpp relies on this).
+//
+// Both the coordinator (to size and validate shard reports) and
+// speccc_batch's --shard-index/--shard-count filter (to select the
+// shard's tasks) call these helpers, so the split rule cannot drift
+// between the dealer and the workers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace speccc::shard {
+
+/// Which shard owns global input index `index` under `shards` shards.
+/// shards must be positive.
+[[nodiscard]] std::size_t shard_of(std::size_t index, std::size_t shards);
+
+/// How many of `count` items land in shard `which`: count/shards, plus
+/// one for the first count%shards shards (earlier shards take the
+/// remainder, matching round-robin order).
+[[nodiscard]] std::size_t shard_size(std::size_t count, std::size_t shards,
+                                     std::size_t which);
+
+/// The full assignment: result[s] lists the global indices of shard s in
+/// increasing order. Sizes obey shard_size(); concatenating the shards
+/// interleaved (row 0 of each shard, then row 1, ...) restores 0..count-1.
+[[nodiscard]] std::vector<std::vector<std::size_t>> split_round_robin(
+    std::size_t count, std::size_t shards);
+
+}  // namespace speccc::shard

@@ -38,6 +38,13 @@ class MealyMachine {
 
   void set_transition(int state, Word input, Word output, int next);
   [[nodiscard]] bool has_transition(int state, Word input) const;
+  /// All transitions out of `state`, keyed by input word (ordered map, so
+  /// iteration is deterministic). The cache snapshot serializer walks this
+  /// to persist synthesized controllers byte-stably.
+  [[nodiscard]] const std::map<Word, std::pair<Word, int>>& transitions(
+      int state) const {
+    return next_[static_cast<std::size_t>(state)];
+  }
   [[nodiscard]] Word output(int state, Word input) const;
   [[nodiscard]] int next(int state, Word input) const;
 

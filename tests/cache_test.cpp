@@ -1,15 +1,21 @@
 // Tests for the cross-spec memoization layer (cache/store.hpp): canonical
 // digest stability, lexicon fingerprint invalidation, store semantics
 // (hit/miss counters, FIFO/LRU eviction under the exact global
-// max_entries cap, per-thread accounting), and the
-// cached-equals-uncached contract at the translator and pipeline levels.
+// max_entries cap, per-thread accounting), the cached-equals-uncached
+// contract at the translator and pipeline levels, and the persistent
+// snapshot format (cache/snapshot.hpp): round trips, pinned golden
+// bytes, structured rejection of damaged files, and Store::merge.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "cache/snapshot.hpp"
 #include "cache/store.hpp"
 #include "core/pipeline.hpp"
 #include "ltl/formula.hpp"
@@ -386,4 +392,285 @@ TEST(PipelineCache, CachedRunMatchesUncachedAndSkipsRecomputation) {
   EXPECT_GT(after_second.l2_hits, after_first.l2_hits);
   EXPECT_EQ(after_second.l2_misses, after_first.l2_misses);
   EXPECT_EQ(after_second.l1_misses, after_first.l1_misses);
+}
+
+// ---- persistent snapshots (cache/snapshot.hpp) ------------------------------
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string snapshot_path(const char* name) {
+  const std::string dir = ::testing::TempDir() + "speccc_cache_snapshots";
+  fs::create_directories(dir);
+  return dir + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+std::string to_hex(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+// A hand-built two-entry store + fixed fingerprint: the snapshot of this
+// store is a pure function of the FORMAT, not of any parser or pipeline
+// behavior, so the golden-bytes pin below only breaks when the format
+// itself changes (which must come with a version bump).
+constexpr Digest kStampA{0x1111111111111111ULL, 0x2222222222222222ULL};
+
+void fill_golden(cache::Store& store) {
+  store.put_satisfiable(Digest{1, 2}, true);
+  store.put_satisfiable(Digest{0x0123456789abcdefULL, 0xfedcba9876543210ULL},
+                        false);
+}
+
+}  // namespace
+
+TEST(Snapshot, PipelineRoundTripRerunsWithZeroMisses) {
+  const auto spec = door_lock_spec();
+  const std::string path = snapshot_path("roundtrip.snap");
+  const Digest stamp = nlp::Lexicon::builtin().fingerprint();
+
+  speccc::core::PipelineOptions options;
+  options.cache = std::make_shared<cache::Store>();
+  const auto expected = speccc::core::Pipeline(options).run("door_lock", spec);
+  cache::save_snapshot(*options.cache, path, stamp);
+
+  speccc::core::PipelineOptions warm_options;
+  warm_options.cache = std::make_shared<cache::Store>();
+  const cache::SnapshotMeta meta =
+      cache::load_snapshot(*warm_options.cache, path, stamp);
+  EXPECT_EQ(meta.version, cache::kSnapshotVersion);
+  EXPECT_EQ(meta.lexicon_fingerprint, stamp);
+  EXPECT_EQ(meta.entries, options.cache->size());
+  EXPECT_EQ(warm_options.cache->size(), options.cache->size());
+
+  // The warm store serves the rerun entirely: zero misses on both levels,
+  // and the same verdict.
+  const auto warm = speccc::core::Pipeline(warm_options).run("door_lock", spec);
+  EXPECT_EQ(warm.consistent, expected.consistent);
+  EXPECT_EQ(warm.num_formulas(), expected.num_formulas());
+  EXPECT_EQ(warm.synthesis.verdict, expected.synthesis.verdict);
+  const cache::StatsSnapshot stats = warm_options.cache->stats();
+  EXPECT_EQ(stats.l1_misses, 0u);
+  EXPECT_EQ(stats.l2_misses, 0u);
+  EXPECT_GT(stats.l1_hits, 0u);
+  EXPECT_GT(stats.l2_hits, 0u);
+}
+
+TEST(Snapshot, GoldenBytesArePinned) {
+  // Format guard: the exact bytes of a tiny snapshot. If this pin breaks,
+  // the on-disk format changed -- bump kSnapshotVersion and repin; do NOT
+  // silently repin under the same version (old snapshots would be
+  // misread, not rejected).
+  const std::string path = snapshot_path("golden.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  EXPECT_EQ(
+      to_hex(read_file(path)),
+      // header: magic "SPCCSNP1", version 1, fingerprint, body length 79
+      "53504343534e5031"  // SPCCSNP1
+      "01000000"          // version 1
+      "1111111111111111" "2222222222222222"  // lexicon fingerprint hi, lo
+      "4f00000000000000"  // body: 79 bytes
+      // body: 5 sections in kind order, entries sorted by key
+      "01" "0000000000000000"  // sentences: none
+      "02" "0200000000000000"  // satisfiable: 2 entries
+      "0100000000000000" "0200000000000000" "01"  // {1,2} -> true
+      "efcdab8967452301" "1032547698badcfe" "00"  // {0123...,fedc...} -> false
+      "03" "0000000000000000"  // synthesis: none
+      "04" "0000000000000000"  // refinement: none
+      "05" "0000000000000000"  // abstraction: none
+      // footer: DigestBuilder("snapshot-body") checksum of the body
+      "748dcd324d7d3dbdcae9cd5c8c6a481e");
+}
+
+TEST(Snapshot, SaveIsAtomicAndOverwritesInPlace) {
+  const std::string path = snapshot_path("atomic.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  const std::string first = read_file(path);
+  cache::save_snapshot(store, path, kStampA);  // overwrite via rename
+  EXPECT_EQ(read_file(path), first);
+  // No temporary siblings survive a successful save.
+  for (const auto& entry : fs::directory_iterator(fs::path(path).parent_path())) {
+    EXPECT_EQ(entry.path().string().find(".tmp."), std::string::npos)
+        << entry.path();
+  }
+}
+
+TEST(Snapshot, RejectsTruncatedFiles) {
+  const std::string path = snapshot_path("truncated.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  const std::string bytes = read_file(path);
+
+  // Cut mid-checksum and mid-header: both are kTruncated, and the target
+  // store stays untouched either way.
+  for (const std::size_t keep : {bytes.size() - 10, std::size_t{20}}) {
+    write_file(path, bytes.substr(0, keep));
+    cache::Store target;
+    try {
+      cache::load_snapshot(target, path, kStampA);
+      FAIL() << "truncated snapshot (" << keep << " bytes) was accepted";
+    } catch (const cache::SnapshotError& e) {
+      EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kTruncated);
+      EXPECT_EQ(e.path(), path);
+    }
+    EXPECT_EQ(target.size(), 0u);
+  }
+}
+
+TEST(Snapshot, RejectsCorruptedBody) {
+  const std::string path = snapshot_path("corrupted.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  std::string bytes = read_file(path);
+  bytes[40] = static_cast<char>(bytes[40] ^ 0x40);  // flip one body bit
+  write_file(path, bytes);
+
+  cache::Store target;
+  target.put_satisfiable(Digest{9, 9}, true);  // pre-existing entry
+  try {
+    cache::load_snapshot(target, path, kStampA);
+    FAIL() << "corrupted snapshot was accepted";
+  } catch (const cache::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kCorrupted);
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos);
+  }
+  EXPECT_EQ(target.size(), 1u);  // rejection left the store untouched
+}
+
+TEST(Snapshot, RejectsWrongFormatVersion) {
+  const std::string path = snapshot_path("version.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  std::string bytes = read_file(path);
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  write_file(path, bytes);
+
+  cache::Store target;
+  try {
+    cache::load_snapshot(target, path, kStampA);
+    FAIL() << "future-version snapshot was accepted";
+  } catch (const cache::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kBadVersion);
+    EXPECT_NE(std::string(e.what()).find("99"), std::string::npos);
+  }
+}
+
+TEST(Snapshot, RejectsForeignMagicAndMissingFiles) {
+  const std::string path = snapshot_path("magic.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+  std::string bytes = read_file(path);
+  bytes[0] = 'X';
+  write_file(path, bytes);
+
+  cache::Store target;
+  EXPECT_THROW(
+      try { cache::load_snapshot(target, path, kStampA); } catch
+          (const cache::SnapshotError& e) {
+        EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kBadMagic);
+        throw;
+      },
+      cache::SnapshotError);
+  EXPECT_THROW(
+      try {
+        cache::load_snapshot(target, snapshot_path("does-not-exist.snap"),
+                             kStampA);
+      } catch (const cache::SnapshotError& e) {
+        EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kIo);
+        throw;
+      },
+      cache::SnapshotError);
+}
+
+TEST(Snapshot, RejectsForeignLexiconFingerprint) {
+  // A vocabulary edit changes the fingerprint; loading the stale snapshot
+  // must fail loudly (level-1 keys embed the fingerprint, so the entries
+  // would be unreachable at best).
+  const std::string path = snapshot_path("fingerprint.snap");
+  cache::Store store;
+  fill_golden(store);
+  cache::save_snapshot(store, path, kStampA);
+
+  nlp::Lexicon edited = nlp::Lexicon::builtin();
+  edited.add("flux", nlp::Pos::kNoun);
+  cache::Store target;
+  try {
+    cache::load_snapshot(target, path, edited.fingerprint());
+    FAIL() << "foreign-lexicon snapshot was accepted";
+  } catch (const cache::SnapshotError& e) {
+    EXPECT_EQ(e.kind(), cache::SnapshotErrorKind::kBadFingerprint);
+    // The diagnostic names both fingerprints, for the operator.
+    EXPECT_NE(std::string(e.what()).find(kStampA.hex()), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(edited.fingerprint().hex()),
+              std::string::npos);
+  }
+  EXPECT_EQ(target.size(), 0u);
+}
+
+// ---- Store::merge -----------------------------------------------------------
+
+TEST(StoreMerge, FirstWriterWinsAndOnlyNewEntriesCount) {
+  cache::Store a;
+  a.put_satisfiable(Digest{1, 1}, true);
+  cache::Store b;
+  b.put_satisfiable(Digest{1, 1}, false);  // conflicting duplicate
+  b.put_satisfiable(Digest{2, 2}, true);
+  b.put_sentence(cache::sentence_key("the door opens", kStampA),
+                 nlp::Sentence{});
+
+  EXPECT_EQ(a.merge(b), 2u);  // the duplicate is not an insert
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_TRUE(*a.find_satisfiable(Digest{1, 1}));  // a's value survived
+  EXPECT_TRUE(*a.find_satisfiable(Digest{2, 2}));
+  EXPECT_EQ(a.merge(b), 0u);  // idempotent
+}
+
+TEST(StoreMerge, ShardSnapshotsMergeIntoTheUnion) {
+  // The coordinator's merge path in miniature: two per-shard stores with
+  // one overlapping entry, snapshotted, loaded into one store.
+  const std::string path_a = snapshot_path("shard-a.snap");
+  const std::string path_b = snapshot_path("shard-b.snap");
+  cache::Store shard_a, shard_b;
+  shard_a.put_satisfiable(Digest{1, 1}, true);
+  shard_a.put_satisfiable(Digest{2, 2}, false);
+  shard_b.put_satisfiable(Digest{2, 2}, false);  // shared work
+  shard_b.put_satisfiable(Digest{3, 3}, true);
+  cache::save_snapshot(shard_a, path_a, kStampA);
+  cache::save_snapshot(shard_b, path_b, kStampA);
+
+  cache::Store merged;
+  cache::load_snapshot(merged, path_a, kStampA);
+  cache::load_snapshot(merged, path_b, kStampA);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_TRUE(*merged.find_satisfiable(Digest{1, 1}));
+  EXPECT_FALSE(*merged.find_satisfiable(Digest{2, 2}));
+  EXPECT_TRUE(*merged.find_satisfiable(Digest{3, 3}));
 }

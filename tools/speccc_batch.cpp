@@ -64,6 +64,22 @@
 //                      eviction counters; this flag additionally prints
 //                      them (to stderr) in --canonical mode, whose stdout
 //                      stream must stay byte-identical cache-on vs off
+//   --cache-snapshot IN,OUT
+//                      implies --cache. Load the persistent store snapshot
+//                      IN before the batch (warm start) and save the store
+//                      to OUT afterwards (atomic temp-file + rename).
+//                      Either side may be empty: ",warm.snap" saves only,
+//                      "warm.snap," loads only. A snapshot that is
+//                      truncated, corrupted, the wrong format version, or
+//                      stamped with a different lexicon fingerprint is
+//                      rejected with a structured diagnostic and exit
+//                      code 1 -- never a silent cold start
+//   --shard-index S / --shard-count K
+//                      run only shard S of a K-way round-robin deal of the
+//                      task list (shard/splitter.hpp: shard S owns input
+//                      indices S, S+K, S+2K, ...). Used by speccc_shard's
+//                      coordinator; the canonical rows of the K shards
+//                      interleaved are byte-identical to the unsharded run
 //   --quiet            suppress the per-spec progress line
 //
 // BDD engine statistics: tasks decided by the symbolic engine carry their
@@ -86,12 +102,15 @@
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "cache/snapshot.hpp"
 #include "cache/store.hpp"
 #include "batch/corpus_tasks.hpp"
 #include "corpus/generator.hpp"
 #include "corpus/loaders.hpp"
 #include "difftest/harness.hpp"
 #include "difftest/random.hpp"
+#include "nlp/lexicon.hpp"
+#include "shard/splitter.hpp"
 #include "util/diagnostics.hpp"
 
 namespace fs = std::filesystem;
@@ -108,7 +127,9 @@ int usage() {
          "                    [--crosscheck] [--diagnose]\n"
          "                    [--max-correction-sets N]\n"
          "                    [--strict-next] [--quiet]\n"
-         "                    [--cache] [--cache-max N] [--cache-stats]\n";
+         "                    [--cache] [--cache-max N] [--cache-stats]\n"
+         "                    [--cache-snapshot IN,OUT]\n"
+         "                    [--shard-index S --shard-count K]\n";
   return 1;
 }
 
@@ -178,6 +199,11 @@ int main(int argc, char** argv) {
   bool use_cache = false;
   bool print_cache_stats = false;
   std::size_t cache_max = cache::StoreOptions{}.max_entries;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  bool use_snapshot = false;
+  long long shard_index = -1;
+  long long shard_count = 0;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -237,6 +263,22 @@ int main(int argc, char** argv) {
       } else if (arg == "--cache-stats") {
         use_cache = true;
         print_cache_stats = true;
+      } else if (arg == "--cache-snapshot") {
+        const std::string spec = next_arg();
+        const auto comma = spec.find(',');
+        if (comma == std::string::npos) {
+          std::cerr << "--cache-snapshot needs IN,OUT (either side may be "
+                       "empty)\n";
+          return usage();
+        }
+        snapshot_in = spec.substr(0, comma);
+        snapshot_out = spec.substr(comma + 1);
+        use_snapshot = true;
+        use_cache = true;
+      } else if (arg == "--shard-index") {
+        shard_index = std::atoll(next_arg().c_str());
+      } else if (arg == "--shard-count") {
+        shard_count = std::atoll(next_arg().c_str());
       } else if (arg == "--quiet") {
         quiet = true;
       } else if (arg == "--seed") {
@@ -278,10 +320,48 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  // Shard selection runs after the "no specifications" check: a shard that
+  // legitimately receives zero tasks (K > corpus size) is an empty report,
+  // not a usage error.
+  if (shard_index >= 0 || shard_count > 0) {
+    if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count) {
+      std::cerr << "--shard-index/--shard-count need 0 <= S < K\n";
+      return usage();
+    }
+    std::vector<batch::SpecTask> mine;
+    mine.reserve(shard::shard_size(tasks.size(),
+                                   static_cast<std::size_t>(shard_count),
+                                   static_cast<std::size_t>(shard_index)));
+    for (std::size_t index = 0; index < tasks.size(); ++index) {
+      if (shard::shard_of(index, static_cast<std::size_t>(shard_count)) ==
+          static_cast<std::size_t>(shard_index)) {
+        mine.push_back(std::move(tasks[index]));
+      }
+    }
+    tasks = std::move(mine);
+  }
+
   if (use_cache) {
     cache::StoreOptions store_options;
     store_options.max_entries = cache_max;
     options.pipeline.cache = std::make_shared<cache::Store>(store_options);
+  }
+  if (use_snapshot && !snapshot_in.empty()) {
+    try {
+      const cache::SnapshotMeta meta = cache::load_snapshot(
+          *options.pipeline.cache, snapshot_in, nlp::Lexicon::builtin().fingerprint());
+      if (!quiet) {
+        std::cerr << "cache snapshot " << snapshot_in << ": " << meta.entries
+                  << " entries loaded\n";
+      }
+    } catch (const cache::SnapshotError& e) {
+      // Never degrade to a silent cold start: a requested warm start that
+      // cannot be honored is an operational error.
+      std::cerr << "error: cache snapshot rejected ("
+                << cache::snapshot_error_kind_name(e.kind()) << "): "
+                << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (!quiet) {
@@ -316,6 +396,21 @@ int main(int argc, char** argv) {
       }
       out << batch::to_json(report);
       if (!quiet) std::cerr << "JSON report written to " << json_path << "\n";
+    }
+  }
+
+  if (use_snapshot && !snapshot_out.empty()) {
+    try {
+      cache::save_snapshot(*options.pipeline.cache, snapshot_out,
+                           nlp::Lexicon::builtin().fingerprint());
+      if (!quiet) {
+        std::cerr << "cache snapshot written to " << snapshot_out << "\n";
+      }
+    } catch (const cache::SnapshotError& e) {
+      std::cerr << "error: cannot write cache snapshot ("
+                << cache::snapshot_error_kind_name(e.kind()) << "): "
+                << e.what() << "\n";
+      return 1;
     }
   }
 

@@ -29,6 +29,14 @@
 //   --cache-max N         store entry cap per artifact kind (default 65536)
 //   --eviction fifo|lru   store eviction policy (default lru; batch's FIFO
 //                         default is wrong for a resident process)
+//   --cache-snapshot IN,OUT   load the persistent store snapshot IN before
+//                         listening (warm start) and save the store to OUT
+//                         after the shutdown drain. Either side may be
+//                         empty. A rejected snapshot (truncated, corrupted,
+//                         wrong version, wrong lexicon fingerprint) is a
+//                         startup failure with a structured diagnostic,
+//                         never a silent cold start. Incompatible with
+//                         --no-cache
 //   --substrate SPEC      default decision substrate for every request:
 //                         "auto" (default), a substrate name (tableau |
 //                         bounded | symbolic), or "race:a,b,...".
@@ -60,8 +68,10 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "cache/snapshot.hpp"
 #include "cache/store.hpp"
 #include "core/substrate.hpp"
+#include "nlp/lexicon.hpp"
 #include "serve/net.hpp"
 #include "serve/protocol.hpp"
 #include "serve/service.hpp"
@@ -75,6 +85,7 @@ int usage() {
          "                    [--queue-max N] [--default-deadline-ms N]\n"
          "                    [--no-cache] [--cache-max N]\n"
          "                    [--eviction fifo|lru]\n"
+         "                    [--cache-snapshot IN,OUT]\n"
          "                    [--substrate auto|NAME|race:a,b,...]\n"
          "                    [--strict-next]\n"
          "                    [--diagnose] [--max-correction-sets N]\n"
@@ -176,6 +187,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   std::size_t cache_max = cache::StoreOptions{}.max_entries;
   cache::Eviction eviction = cache::Eviction::kLru;
+  std::string snapshot_in;
+  std::string snapshot_out;
+  bool use_snapshot = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -218,6 +232,17 @@ int main(int argc, char** argv) {
         return usage();
       }
       cache_max = static_cast<std::size_t>(n);
+    } else if (arg == "--cache-snapshot") {
+      const std::string spec = next_arg();
+      const auto comma = spec.find(',');
+      if (comma == std::string::npos) {
+        std::cerr << "--cache-snapshot needs IN,OUT (either side may be "
+                     "empty)\n";
+        return usage();
+      }
+      snapshot_in = spec.substr(0, comma);
+      snapshot_out = spec.substr(comma + 1);
+      use_snapshot = true;
     } else if (arg == "--eviction") {
       const std::string which = next_arg();
       if (which == "fifo") eviction = cache::Eviction::kFifo;
@@ -256,6 +281,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (use_snapshot && !use_cache) {
+    std::cerr << "--cache-snapshot needs the cache (drop --no-cache)\n";
+    return usage();
+  }
+
   std::shared_ptr<cache::Store> store;
   if (use_cache) {
     cache::StoreOptions store_options;
@@ -263,6 +293,23 @@ int main(int argc, char** argv) {
     store_options.eviction = eviction;
     store = std::make_shared<cache::Store>(store_options);
     options.pipeline.cache = store;
+  }
+  if (use_snapshot && !snapshot_in.empty()) {
+    try {
+      const cache::SnapshotMeta meta = cache::load_snapshot(
+          *store, snapshot_in, nlp::Lexicon::builtin().fingerprint());
+      if (!quiet) {
+        std::cerr << "speccc_serve: cache snapshot " << snapshot_in << ": "
+                  << meta.entries << " entries loaded\n";
+      }
+    } catch (const cache::SnapshotError& e) {
+      // A requested warm start that cannot be honored is a startup
+      // failure, never a silent cold start.
+      std::cerr << "error: cache snapshot rejected ("
+                << cache::snapshot_error_kind_name(e.kind()) << "): "
+                << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (::pipe(g_wake_pipe) != 0) {
@@ -334,6 +381,22 @@ int main(int argc, char** argv) {
     if (connection.joinable()) connection.join();
   }
   service.shutdown();
+  // The drain is complete: the store is quiescent, so the snapshot is a
+  // consistent post-run image.
+  if (use_snapshot && !snapshot_out.empty()) {
+    try {
+      cache::save_snapshot(*store, snapshot_out, nlp::Lexicon::builtin().fingerprint());
+      if (!quiet) {
+        std::cerr << "speccc_serve: cache snapshot written to " << snapshot_out
+                  << "\n";
+      }
+    } catch (const cache::SnapshotError& e) {
+      std::cerr << "error: cannot write cache snapshot ("
+                << cache::snapshot_error_kind_name(e.kind()) << "): "
+                << e.what() << "\n";
+      return 1;
+    }
+  }
   if (!quiet) {
     const serve::ServiceStats stats = service.stats();
     std::cerr << "speccc_serve: done (" << stats.completed << " completed, "
