@@ -1,0 +1,90 @@
+#include "aig/aig.hpp"
+
+namespace speccc::aig {
+
+Aig::Aig() {
+  nodes_.push_back({kInputMark, kInputMark});  // node 0: constant true
+  unique_table_.assign(1u << 10, 0);
+  unique_mask_ = unique_table_.size() - 1;
+}
+
+Edge Aig::add_input() {
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({kInputMark, static_cast<std::uint32_t>(num_inputs_)});
+  ++num_inputs_;
+  return Edge::from_code(node << 1);
+}
+
+std::uint64_t Aig::hash_pair(std::uint32_t a, std::uint32_t b) {
+  std::uint64_t h = (static_cast<std::uint64_t>(a) << 32) | b;
+  // splitmix64 finalizer: cheap, well-distributed for the open table.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+void Aig::grow_unique_table() {
+  std::vector<std::uint32_t> old = std::move(unique_table_);
+  unique_table_.assign(old.size() * 2, 0);
+  unique_mask_ = unique_table_.size() - 1;
+  for (const std::uint32_t node : old) {
+    if (node == 0) continue;
+    std::size_t slot =
+        hash_pair(nodes_[node].fanin0, nodes_[node].fanin1) & unique_mask_;
+    while (unique_table_[slot] != 0) slot = (slot + 1) & unique_mask_;
+    unique_table_[slot] = node;
+  }
+}
+
+Edge Aig::mk_and(Edge a, Edge b) {
+  // Constant propagation and trivial identities.
+  if (a == edge_true()) return b;
+  if (b == edge_true()) return a;
+  if (a == edge_false() || b == edge_false()) return edge_false();
+  if (a == b) return a;
+  if (a == b.negated()) return edge_false();
+  // Canonical operand order for structural hashing.
+  if (a.code() > b.code()) {
+    const Edge t = a;
+    a = b;
+    b = t;
+  }
+
+  std::size_t slot = hash_pair(a.code(), b.code()) & unique_mask_;
+  while (unique_table_[slot] != 0) {
+    const std::uint32_t node = unique_table_[slot];
+    if (nodes_[node].fanin0 == a.code() && nodes_[node].fanin1 == b.code()) {
+      ++strash_hits_;
+      return Edge::from_code(node << 1);
+    }
+    slot = (slot + 1) & unique_mask_;
+  }
+
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back({a.code(), b.code()});
+  unique_table_[slot] = node;
+  if (++unique_used_ * 2 > unique_table_.size()) grow_unique_table();
+  return Edge::from_code(node << 1);
+}
+
+std::vector<bool> Aig::evaluate_all(const std::vector<bool>& inputs) const {
+  std::vector<bool> values(nodes_.size(), false);
+  values[0] = true;  // the constant node's regular edge is true
+  for (std::uint32_t n = 1; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    if (node.fanin0 == kInputMark) {
+      values[n] = node.fanin1 < inputs.size() && inputs[node.fanin1];
+      continue;
+    }
+    const Edge f0 = Edge::from_code(node.fanin0);
+    const Edge f1 = Edge::from_code(node.fanin1);
+    values[n] = (values[f0.node()] != f0.complemented()) &&
+                (values[f1.node()] != f1.complemented());
+  }
+  return values;
+}
+
+}  // namespace speccc::aig

@@ -1,0 +1,159 @@
+// Structural-hashed And-Inverter Graph with complement edges.
+//
+// The circuit representation beneath the bit-blasting layer (smt/bitblast):
+// every gate the Builder constructs lands here as an AND node over two
+// complementable edges, so the CNF the solver eventually sees can be chosen
+// *after* the whole circuit exists -- the cut-based mapper in aig/cnf.hpp
+// covers the DAG with k-input super-gates instead of emitting per-gate
+// Tseitin triples the instant a gate is built.
+//
+// The layout follows the packed-arena craft of src/bdd (and ABC/ZZ's Gig):
+//
+//   * Complement edges. An edge is `(node_index << 1) | complement`, so
+//     negation is O(1) and a function and its negation share one node.
+//     Node 0 is the constant-true node: edge 0 = true, edge 1 = false.
+//   * Flat packed node arena. Nodes are 8-byte POD entries (two fanin edge
+//     codes) in one vector; primary inputs are marked by a sentinel fanin
+//     and carry their input ordinal in the other slot. Nodes are created
+//     in topological order by construction (fanins always precede users),
+//     which every downstream traversal exploits.
+//   * Structural hashing. `mk_and` normalizes operand order and folds
+//     constants and trivial identities (a&a, a&!a, a&1, a&0) before
+//     consulting an open-addressing unique table, so equivalent gates
+//     share one node and dead logic never reaches the mapper.
+//
+// An Aig is single-threaded by design (one per Builder / worker, mirroring
+// the bdd::Manager threading rule).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::aig {
+
+/// A complementable reference to an AIG node. Cheap value type; valid for
+/// the lifetime of the Aig that created it. Default-constructed edges are
+/// the constant true (edge code 0).
+class Edge {
+ public:
+  constexpr Edge() = default;
+
+  [[nodiscard]] constexpr std::uint32_t code() const { return code_; }
+  [[nodiscard]] constexpr std::uint32_t node() const { return code_ >> 1; }
+  [[nodiscard]] constexpr bool complemented() const { return (code_ & 1u) != 0; }
+  [[nodiscard]] constexpr Edge negated() const { return Edge(code_ ^ 1u); }
+  [[nodiscard]] constexpr bool is_constant() const { return node() == 0; }
+
+  static constexpr Edge from_code(std::uint32_t code) { return Edge(code); }
+
+  friend constexpr bool operator==(Edge a, Edge b) { return a.code_ == b.code_; }
+  friend constexpr bool operator!=(Edge a, Edge b) { return a.code_ != b.code_; }
+
+ private:
+  explicit constexpr Edge(std::uint32_t code) : code_(code) {}
+  std::uint32_t code_ = 0;
+};
+
+class Aig {
+ public:
+  Aig();
+  Aig(const Aig&) = delete;
+  Aig& operator=(const Aig&) = delete;
+
+  [[nodiscard]] static constexpr Edge edge_true() { return Edge::from_code(0); }
+  [[nodiscard]] static constexpr Edge edge_false() { return Edge::from_code(1); }
+  [[nodiscard]] static constexpr Edge constant(bool value) {
+    return value ? edge_true() : edge_false();
+  }
+
+  /// Create a fresh primary input; returns its (regular) edge. Inputs are
+  /// numbered 0.. in creation order (see input_index).
+  Edge add_input();
+
+  /// Structural-hashed AND with constant propagation: a&1=a, a&0=0, a&a=a,
+  /// a&!a=0, operands ordered canonically before the unique-table lookup.
+  Edge mk_and(Edge a, Edge b);
+  Edge mk_or(Edge a, Edge b) {
+    return mk_and(a.negated(), b.negated()).negated();
+  }
+  Edge mk_xor(Edge a, Edge b) {
+    return mk_or(mk_and(a, b.negated()), mk_and(a.negated(), b));
+  }
+  Edge mk_mux(Edge sel, Edge then_edge, Edge else_edge) {
+    if (then_edge == else_edge) return then_edge;
+    return mk_or(mk_and(sel, then_edge), mk_and(sel.negated(), else_edge));
+  }
+
+  // ---- Node inspection (for the mapper and for simulation) -----------------
+  /// Total nodes in the arena (constant + inputs + ANDs).
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_inputs() const { return num_inputs_; }
+  [[nodiscard]] std::size_t num_ands() const {
+    return nodes_.size() - 1 - num_inputs_;
+  }
+
+  [[nodiscard]] bool is_constant(std::uint32_t node) const { return node == 0; }
+  [[nodiscard]] bool is_input(std::uint32_t node) const {
+    return nodes_[node].fanin0 == kInputMark;
+  }
+  [[nodiscard]] bool is_and(std::uint32_t node) const {
+    return node != 0 && nodes_[node].fanin0 != kInputMark;
+  }
+  /// Ordinal of a primary input node (0-based creation order).
+  [[nodiscard]] std::uint32_t input_index(std::uint32_t node) const {
+    speccc_check(is_input(node), "input_index on a non-input node");
+    return nodes_[node].fanin1;
+  }
+  [[nodiscard]] Edge fanin0(std::uint32_t node) const {
+    speccc_check(is_and(node), "fanin of a non-AND node");
+    return Edge::from_code(nodes_[node].fanin0);
+  }
+  [[nodiscard]] Edge fanin1(std::uint32_t node) const {
+    speccc_check(is_and(node), "fanin of a non-AND node");
+    return Edge::from_code(nodes_[node].fanin1);
+  }
+
+  /// Evaluate every node under a primary-input assignment (indexed by
+  /// input ordinal; missing inputs read false). Entry [n] is the value of
+  /// node n's regular edge. One linear arena pass -- the replay primitive
+  /// the difftest circuit lane uses to validate satisfying assignments.
+  [[nodiscard]] std::vector<bool> evaluate_all(
+      const std::vector<bool>& inputs) const;
+  /// Evaluate a single edge under an input assignment (runs evaluate_all).
+  [[nodiscard]] bool evaluate(Edge e, const std::vector<bool>& inputs) const {
+    const std::vector<bool> values = evaluate_all(inputs);
+    return values[e.node()] != e.complemented();
+  }
+
+  /// Unique-table hits (gates answered without creating a node) -- the
+  /// structural-sharing win the benches report.
+  [[nodiscard]] std::size_t strash_hits() const { return strash_hits_; }
+
+ private:
+  static constexpr std::uint32_t kInputMark = 0xFFFFFFFFu;
+
+  /// Packed arena node: two fanin edge codes for ANDs; inputs store
+  /// kInputMark in fanin0 and their ordinal in fanin1; node 0 (constant)
+  /// stores kInputMark in both.
+  struct Node {
+    std::uint32_t fanin0;
+    std::uint32_t fanin1;
+  };
+
+  void grow_unique_table();
+  [[nodiscard]] static std::uint64_t hash_pair(std::uint32_t a, std::uint32_t b);
+
+  std::vector<Node> nodes_;
+  std::size_t num_inputs_ = 0;
+  std::size_t strash_hits_ = 0;
+
+  // Open-addressing unique table over AND node indices (0 = empty slot;
+  // the constant node and inputs are never hashed).
+  std::vector<std::uint32_t> unique_table_;
+  std::size_t unique_mask_ = 0;
+  std::size_t unique_used_ = 0;
+};
+
+}  // namespace speccc::aig

@@ -1,0 +1,499 @@
+#include "aig/cnf.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "util/diagnostics.hpp"
+
+namespace speccc::aig {
+namespace {
+
+// A candidate cut during enumeration. Plain value type with inline leaf
+// storage so the inner merge loop never touches the heap.
+struct Cut {
+  std::array<std::uint32_t, 6> leaves{};  // sorted ascending; [0, size)
+  std::uint64_t tt = 0;                   // function over leaves (low 2^size bits)
+  double flow = 0.0;                      // area flow of the cut
+  std::uint32_t cost = 0;                 // ISOP clause count, both phases
+  std::uint8_t size = 0;
+
+  [[nodiscard]] bool same_leaves(const Cut& other) const {
+    if (size != other.size) return false;
+    for (unsigned i = 0; i < size; ++i) {
+      if (leaves[i] != other.leaves[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint64_t leaves_hash() const {
+    std::uint64_t h = size;
+    for (unsigned i = 0; i < size; ++i) {
+      h = h * 0x9e3779b97f4a7c15ULL + leaves[i] + 1;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+};
+
+Cut trivial_cut(std::uint32_t node) {
+  Cut cut;
+  cut.size = 1;
+  cut.leaves[0] = node;
+  cut.tt = 0b10ULL;  // identity of the single leaf
+  return cut;
+}
+
+// Cofactor masks: bit m of masks[v] is set iff (m >> v) & 1 == 0.
+constexpr std::uint64_t kCofMask[6] = {
+    0x5555555555555555ULL, 0x3333333333333333ULL, 0x0F0F0F0F0F0F0F0FULL,
+    0x00FF00FF00FF00FFULL, 0x0000FFFF0000FFFFULL, 0x00000000FFFFFFFFULL,
+};
+
+std::uint64_t cofactor0(std::uint64_t tt, int var) {
+  const std::uint64_t lo = tt & kCofMask[var];
+  return lo | (lo << (1u << var));
+}
+
+std::uint64_t cofactor1(std::uint64_t tt, int var) {
+  const std::uint64_t hi = tt & ~kCofMask[var];
+  return hi | (hi >> (1u << var));
+}
+
+// All truth tables of one isop() invocation live in the low 2^num_vars
+// bits; recursion narrows the set of splittable variables (var_limit)
+// instead of shrinking the word, so cofactors (which duplicate across
+// both halves of the split variable) stay directly comparable.
+std::uint64_t isop_rec(std::uint64_t on, std::uint64_t upper, int num_vars,
+                       int var_limit, std::vector<Cube>& out) {
+  if (on == 0) return 0;
+  const std::uint64_t full = tt_full(num_vars);
+  if (upper == full) {
+    out.push_back(Cube{});  // tautology within this subspace
+    return full;
+  }
+  // Split on the highest still-splittable variable either bound depends on.
+  int var = var_limit - 1;
+  while (var >= 0 && cofactor0(on, var) == cofactor1(on, var) &&
+         cofactor0(upper, var) == cofactor1(upper, var)) {
+    --var;
+  }
+  speccc_check(var >= 0, "isop: constant function fell through");
+  const std::uint64_t on0 = cofactor0(on, var);
+  const std::uint64_t on1 = cofactor1(on, var);
+  const std::uint64_t up0 = cofactor0(upper, var);
+  const std::uint64_t up1 = cofactor1(upper, var);
+
+  // Minterms only coverable with a ~var cube, then only with a var cube.
+  const std::size_t neg_begin = out.size();
+  const std::uint64_t cov0 = isop_rec(on0 & ~up1, up0, num_vars, var, out);
+  const std::size_t pos_begin = out.size();
+  const std::uint64_t cov1 = isop_rec(on1 & ~up0, up1, num_vars, var, out);
+  for (std::size_t i = neg_begin; i < pos_begin; ++i) {
+    out[i].mask |= static_cast<std::uint8_t>(1u << var);
+  }
+  for (std::size_t i = pos_begin; i < out.size(); ++i) {
+    out[i].mask |= static_cast<std::uint8_t>(1u << var);
+    out[i].value |= static_cast<std::uint8_t>(1u << var);
+  }
+
+  // Remainder is coverable without mentioning var at all.
+  const std::uint64_t rem = (on0 & ~cov0) | (on1 & ~cov1);
+  const std::uint64_t cov2 = isop_rec(rem, up0 & up1, num_vars, var, out);
+
+  const std::uint64_t vmask = tt_var(var, num_vars);
+  return (cov0 & ~vmask) | (cov1 & vmask) | cov2;
+}
+
+}  // namespace
+
+std::uint64_t tt_full(int num_vars) {
+  return num_vars >= 6 ? ~0ULL : ((1ULL << (1u << num_vars)) - 1);
+}
+
+std::uint64_t tt_var(int var, int num_vars) {
+  return ~kCofMask[var] & tt_full(num_vars);
+}
+
+std::uint64_t isop(std::uint64_t on, std::uint64_t upper, int num_vars,
+                   std::vector<Cube>& out) {
+  speccc_check((on & ~upper) == 0, "isop: on-set escapes the upper bound");
+  return isop_rec(on, upper, num_vars, num_vars, out);
+}
+
+CnfMapper::CnfMapper(const Aig& aig, ClauseSink& sink, CnfOptions options)
+    : aig_(aig), sink_(sink), options_(options) {
+  speccc_check(options_.cut_size >= 2 && options_.cut_size <= 6,
+               "cut_size must be in 2..6");
+  speccc_check(options_.cuts_per_node >= 1, "cuts_per_node must be positive");
+}
+
+void CnfMapper::record_literal(std::uint32_t node, sat::Lit regular_lit) {
+  if (node >= lits_.size()) lits_.resize(aig_.num_nodes(), kNoLit);
+  speccc_check(lits_[node] == kNoLit, "node literal registered twice");
+  lits_[node] = regular_lit.code();
+}
+
+void CnfMapper::set_literal(Edge e, sat::Lit lit) {
+  record_literal(e.node(), e.complemented() ? lit.negated() : lit);
+}
+
+std::optional<sat::Lit> CnfMapper::existing_literal(Edge e) const {
+  if (!has_literal(e.node())) return std::nullopt;
+  const sat::Lit lit = node_literal(e.node());
+  return e.complemented() ? lit.negated() : lit;
+}
+
+sat::Lit CnfMapper::leaf_literal(std::uint32_t node) {
+  if (has_literal(node)) return node_literal(node);
+  if (aig_.is_constant(node)) {
+    // A standalone dump can reach the constant without the Builder having
+    // pinned it; allocate and assert a true variable on demand.
+    const sat::Lit t(sink_.new_var(), true);
+    ++stats_.vars;
+    record_literal(node, t);
+    emit({t});
+    return t;
+  }
+  speccc_check(aig_.is_input(node), "leaf_literal on an unflushed AND");
+  const sat::Lit lit(sink_.new_var(), true);
+  ++stats_.vars;
+  record_literal(node, lit);
+  return lit;
+}
+
+sat::Lit CnfMapper::literal(Edge e) {
+  const std::uint32_t node = e.node();
+  if (!has_literal(node)) {
+    if (aig_.is_and(node)) {
+      flush_cone(node);
+    } else {
+      leaf_literal(node);
+    }
+  }
+  const sat::Lit lit = node_literal(node);
+  return e.complemented() ? lit.negated() : lit;
+}
+
+void CnfMapper::emit(sat::Clause clause) {
+  stats_.literals += clause.size();
+  ++stats_.clauses;
+  sink_.add_clause(clause);
+}
+
+void CnfMapper::emit_supergate(sat::Lit out,
+                               const std::vector<sat::Lit>& leaf_lits,
+                               std::uint64_t tt, int num_vars) {
+  // Cubes of ISOP(f) force the output high: (out | ~cube). Cubes of
+  // ISOP(~f) force it low: (~out | ~cube).
+  const std::uint64_t full = tt_full(num_vars);
+  for (int phase = 0; phase < 2; ++phase) {
+    const std::uint64_t on = phase == 0 ? (full & ~tt) : tt;
+    cubes_.clear();
+    isop(on, on, num_vars, cubes_);
+    const sat::Lit head = phase == 0 ? out.negated() : out;
+    for (const Cube& cube : cubes_) {
+      sat::Clause clause;
+      clause.push_back(head);
+      for (int v = 0; v < num_vars; ++v) {
+        if ((cube.mask >> v) & 1u) {
+          const bool positive = (cube.value >> v) & 1u;
+          clause.push_back(positive ? leaf_lits[v].negated() : leaf_lits[v]);
+        }
+      }
+      emit(std::move(clause));
+    }
+  }
+}
+
+void CnfMapper::flush_cone(std::uint32_t root) {
+  ++stats_.flushes;
+  // Collect the not-yet-flushed AND cone below root, in ascending (= topo)
+  // node order. Inputs, constants, and previously flushed ANDs are
+  // boundaries.
+  cone_.clear();
+  if (stamp_.size() < aig_.num_nodes()) stamp_.resize(aig_.num_nodes(), 0);
+  ++stamp_id_;
+  std::vector<std::uint32_t> stack{root};
+  stamp_[root] = stamp_id_;
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    cone_.push_back(n);
+    for (const Edge f : {aig_.fanin0(n), aig_.fanin1(n)}) {
+      const std::uint32_t child = f.node();
+      if (stamp_[child] == stamp_id_ || !aig_.is_and(child) ||
+          has_literal(child)) {
+        continue;
+      }
+      stamp_[child] = stamp_id_;
+      stack.push_back(child);
+    }
+  }
+  std::sort(cone_.begin(), cone_.end());
+  if (slot_.size() < stamp_.size()) slot_.resize(stamp_.size(), 0);
+  for (std::size_t s = 0; s < cone_.size(); ++s) {
+    slot_[cone_[s]] = static_cast<std::uint32_t>(s);
+  }
+
+  if (options_.encoder == CnfOptions::Encoder::kTseitin) {
+    flush_tseitin(cone_);
+  } else {
+    flush_mapped(cone_);
+  }
+}
+
+void CnfMapper::flush_tseitin(const std::vector<std::uint32_t>& cone) {
+  for (const std::uint32_t n : cone) {
+    const sat::Lit a = [&] {
+      const Edge f = aig_.fanin0(n);
+      const sat::Lit lit = leaf_literal(f.node());
+      return f.complemented() ? lit.negated() : lit;
+    }();
+    const sat::Lit b = [&] {
+      const Edge f = aig_.fanin1(n);
+      const sat::Lit lit = leaf_literal(f.node());
+      return f.complemented() ? lit.negated() : lit;
+    }();
+    const sat::Lit o(sink_.new_var(), true);
+    ++stats_.vars;
+    ++stats_.mapped_gates;
+    ++stats_.covered_gates;
+    record_literal(n, o);
+    emit({o.negated(), a});
+    emit({o.negated(), b});
+    emit({o, a.negated(), b.negated()});
+  }
+}
+
+std::uint32_t CnfMapper::cut_cost(std::uint64_t tt, int num_vars) {
+  // For num_vars <= 4 the function space is at most 2^16 tables, so a flat
+  // byte array memoizes every cost ever computed (shared across flushes --
+  // circuits repeat the same local functions, e.g. full-adder sum/carry).
+  static constexpr std::size_t kOffset[5] = {0, 2, 6, 22, 278};
+  static constexpr std::size_t kMemoSize = 278 + 65536;
+  const bool memoize = num_vars <= 4;
+  std::size_t index = 0;
+  if (memoize) {
+    if (cost_memo_.empty()) cost_memo_.assign(kMemoSize, 0xFF);
+    index = kOffset[num_vars] + static_cast<std::size_t>(tt);
+    if (cost_memo_[index] != 0xFF) return cost_memo_[index];
+  }
+  const std::uint64_t full = tt_full(num_vars);
+  cubes_.clear();
+  isop(full & ~tt, full & ~tt, num_vars, cubes_);
+  std::size_t cost = cubes_.size();
+  cubes_.clear();
+  isop(tt, tt, num_vars, cubes_);
+  cost += cubes_.size();
+  if (memoize) {
+    cost_memo_[index] = static_cast<std::uint8_t>(cost);  // <= 16 for k<=4
+  }
+  return static_cast<std::uint32_t>(cost);
+}
+
+void CnfMapper::flush_mapped(const std::vector<std::uint32_t>& cone) {
+  const unsigned k = static_cast<unsigned>(options_.cut_size);
+  const std::size_t keep = static_cast<std::size_t>(options_.cuts_per_node);
+
+  // Dense per-cone indexing via the stamp/slot arrays flush_cone filled:
+  // O(1) node -> cone slot, -1 when outside the cone.
+  const auto slot_find = [&](std::uint32_t node) -> std::ptrdiff_t {
+    if (stamp_[node] != stamp_id_) return -1;
+    return static_cast<std::ptrdiff_t>(slot_[node]);
+  };
+
+  // Fanout refs within this cone; the root (last node) gets one external
+  // reference so its flow never divides by zero.
+  std::vector<std::uint32_t> refs(cone.size(), 0);
+  for (const std::uint32_t n : cone) {
+    for (const Edge f : {aig_.fanin0(n), aig_.fanin1(n)}) {
+      const std::ptrdiff_t s = slot_find(f.node());
+      if (s >= 0) ++refs[static_cast<std::size_t>(s)];
+    }
+  }
+  refs.back() += 1;
+
+  // Expand a child cut's truth table onto a merged leaf set: OR together
+  // the merged-space minterm masks of the child's set minterms (iterating
+  // the sparser phase), so each minterm costs `size` word ops instead of a
+  // bit poke per merged-space row.
+  const auto expand_tt = [](const Cut& cut, bool complement,
+                            const Cut& merged) {
+    const std::uint64_t child_full = tt_full(cut.size);
+    const std::uint64_t merged_full = tt_full(merged.size);
+    std::uint64_t child_tt = complement ? (child_full & ~cut.tt) : cut.tt;
+    // Merged-space truth table of each child variable.
+    std::uint64_t vm[6];
+    for (unsigned i = 0, p = 0; i < cut.size; ++i, ++p) {
+      while (merged.leaves[p] != cut.leaves[i]) ++p;
+      vm[i] = tt_var(static_cast<int>(p), merged.size);
+    }
+    bool invert = false;
+    if (2 * static_cast<unsigned>(__builtin_popcountll(child_tt)) >
+        (1u << cut.size)) {
+      child_tt = child_full & ~child_tt;
+      invert = true;
+    }
+    std::uint64_t tt = 0;
+    while (child_tt != 0) {
+      const unsigned cm = static_cast<unsigned>(__builtin_ctzll(child_tt));
+      child_tt &= child_tt - 1;
+      std::uint64_t m = merged_full;
+      for (unsigned i = 0; i < cut.size; ++i) {
+        m &= ((cm >> i) & 1u) ? vm[i] : ~vm[i];
+      }
+      tt |= m;
+    }
+    return invert ? (merged_full & ~tt) : tt;
+  };
+
+  // Bottom-up cut enumeration. cuts[slot] holds the pruned candidate list
+  // for that cone node; boundary fanins contribute a single trivial cut.
+  std::vector<std::vector<Cut>> cuts(cone.size());
+  std::vector<double> node_flow(cone.size(), 0.0);
+  std::vector<std::size_t> best(cone.size(), 0);
+  std::vector<Cut> cand;
+  cand.reserve(2 * (keep + 1) * (keep + 1));
+
+  for (std::size_t s = 0; s < cone.size(); ++s) {
+    const std::uint32_t n = cone[s];
+    const Edge f0 = aig_.fanin0(n);
+    const Edge f1 = aig_.fanin1(n);
+
+    // Candidate cut lists of each fanin: the fanin's enumerated cuts when
+    // it is inside the cone, else just its trivial cut.
+    // Multi-fanout nodes are hard mapping boundaries: their signal is
+    // shared, so absorbing them into a user's cut would duplicate logic
+    // and -- worse for the SAT search -- erase a variable the solver's
+    // learned clauses want to talk about. Only fanout-free chains melt
+    // into super-gates.
+    const Cut trivial0 = trivial_cut(f0.node());
+    const Cut trivial1 = trivial_cut(f1.node());
+    const std::ptrdiff_t s0 = slot_find(f0.node());
+    const std::ptrdiff_t s1 = slot_find(f1.node());
+    const bool open0 = s0 >= 0 && refs[static_cast<std::size_t>(s0)] < 2;
+    const bool open1 = s1 >= 0 && refs[static_cast<std::size_t>(s1)] < 2;
+    const Cut* list0 = open0 ? cuts[static_cast<std::size_t>(s0)].data()
+                             : &trivial0;
+    const Cut* list1 = open1 ? cuts[static_cast<std::size_t>(s1)].data()
+                             : &trivial1;
+    const std::size_t count0 =
+        open0 ? cuts[static_cast<std::size_t>(s0)].size() : 1;
+    const std::size_t count1 =
+        open1 ? cuts[static_cast<std::size_t>(s1)].size() : 1;
+
+    // Small open-addressing table over candidate leaf sets, so duplicate
+    // detection is O(1) per merge instead of a scan of all candidates.
+    std::uint16_t dedup[256];
+    std::memset(dedup, 0, sizeof dedup);  // 0 = empty, else cand index + 1
+    cand.clear();
+
+    for (std::size_t i = 0; i < count0; ++i) {
+      const Cut& c0 = list0[i];
+      for (std::size_t j = 0; j < count1; ++j) {
+        const Cut& c1 = list1[j];
+        // Merge the sorted leaf sets in place; skip if wider than k.
+        Cut cut;
+        {
+          unsigned a = 0, b = 0;
+          bool too_wide = false;
+          while (a < c0.size || b < c1.size) {
+            std::uint32_t next;
+            if (b >= c1.size ||
+                (a < c0.size && c0.leaves[a] < c1.leaves[b])) {
+              next = c0.leaves[a++];
+            } else if (a >= c0.size || c1.leaves[b] < c0.leaves[a]) {
+              next = c1.leaves[b++];
+            } else {
+              next = c0.leaves[a];
+              ++a;
+              ++b;
+            }
+            if (cut.size == k) {
+              too_wide = true;
+              break;
+            }
+            cut.leaves[cut.size++] = next;
+          }
+          if (too_wide) continue;
+        }
+        // Duplicate leaf sets compute the same function; keep the first.
+        unsigned slot = static_cast<unsigned>(cut.leaves_hash()) & 255u;
+        bool duplicate = false;
+        while (dedup[slot] != 0) {
+          if (cand[dedup[slot] - 1].same_leaves(cut)) {
+            duplicate = true;
+            break;
+          }
+          slot = (slot + 1) & 255u;
+        }
+        if (duplicate) continue;
+
+        cut.tt = expand_tt(c0, f0.complemented(), cut) &
+                 expand_tt(c1, f1.complemented(), cut);
+        cut.cost = cut_cost(cut.tt, cut.size);
+        cut.flow = 1.0 + cut.cost;
+        for (unsigned l = 0; l < cut.size; ++l) {
+          const std::ptrdiff_t ls = slot_find(cut.leaves[l]);
+          if (ls >= 0) cut.flow += node_flow[static_cast<std::size_t>(ls)];
+        }
+        dedup[slot] = static_cast<std::uint16_t>(cand.size() + 1);
+        cand.push_back(cut);
+      }
+    }
+    speccc_check(!cand.empty(), "cut enumeration produced no cuts");
+    const auto better = [](const Cut& a, const Cut& b) {
+      if (a.flow != b.flow) return a.flow < b.flow;
+      return a.size < b.size;
+    };
+    if (cand.size() > keep) {
+      std::nth_element(cand.begin(), cand.begin() + keep, cand.end(), better);
+      cand.resize(keep);
+    }
+    std::sort(cand.begin(), cand.end(), better);
+    best[s] = 0;
+    node_flow[s] = cand[0].flow / static_cast<double>(std::max<std::uint32_t>(
+                                      refs[s], 1));
+    // The trivial self-cut lets users stop at this node; it is a merge
+    // candidate only, never the mapping cut (best[s] stays in the merged
+    // portion above).
+    Cut self = trivial_cut(n);
+    self.flow = node_flow[s];
+    cand.push_back(self);
+    cuts[s].assign(cand.begin(), cand.end());
+  }
+
+  // Cover extraction: required nodes, root first, walking descending so a
+  // node's requirement is settled before it is visited.
+  std::vector<char> required(cone.size(), 0);
+  required.back() = 1;
+  for (std::size_t s = cone.size(); s-- > 0;) {
+    if (!required[s]) continue;
+    const Cut& cut = cuts[s][best[s]];
+    for (unsigned l = 0; l < cut.size; ++l) {
+      const std::ptrdiff_t ls = slot_find(cut.leaves[l]);
+      if (ls >= 0) required[static_cast<std::size_t>(ls)] = 1;
+    }
+  }
+
+  // Emission in ascending order: leaves before users.
+  for (std::size_t s = 0; s < cone.size(); ++s) {
+    if (required[s]) {
+      const Cut& cut = cuts[s][best[s]];
+      std::vector<sat::Lit> leaf_lits;
+      leaf_lits.reserve(cut.size);
+      for (unsigned l = 0; l < cut.size; ++l) {
+        leaf_lits.push_back(leaf_literal(cut.leaves[l]));
+      }
+      const sat::Lit o(sink_.new_var(), true);
+      ++stats_.vars;
+      ++stats_.mapped_gates;
+      record_literal(cone[s], o);
+      emit_supergate(o, leaf_lits, cut.tt, cut.size);
+    }
+    ++stats_.covered_gates;
+  }
+}
+
+}  // namespace speccc::aig

@@ -1,0 +1,142 @@
+// Cut-based CNF generation over the AIG, in the style of ABC/ZZ's CnfMap.
+//
+// Instead of Tseitin-encoding every AND gate into three clauses and one
+// auxiliary variable, the mapper covers the DAG with k-input "super-gates":
+//
+//   1. Enumerate k-feasible cuts (default k = 4, configurable up to 6)
+//      bottom-up, keeping the best few per node, with the cut function
+//      tracked as a <= 64-bit truth table.
+//   2. Choose a cover by area flow, where a cut's area is its real CNF
+//      cost -- the clause count of an irredundant sum-of-products (ISOP,
+//      Minato-Morreale) of the cut function and its complement -- divided
+//      over the node's fanout.
+//   3. Emit one variable and one ISOP clause set per *mapped* node only;
+//      interior nodes of a chosen cut get neither.
+//
+// The mapper is incremental: literal(edge) emits CNF for exactly the
+// not-yet-flushed transitive fan-in of that edge, so a bound-search loop
+// that keeps adding comparators to the same circuit re-maps only the new
+// cone and reuses every variable already handed out. Boundary nodes of
+// earlier flushes act as free leaves for later ones.
+//
+// A Tseitin fallback lane (CnfOptions::Encoder::kTseitin) emits the
+// classic per-gate triples through the same incremental interface, so the
+// two encodings can be raced, difftested, and dumped side by side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "sat/solver.hpp"
+
+namespace speccc::aig {
+
+/// Destination for generated CNF: the solver adapter in smt::Builder, or a
+/// collecting sink for DIMACS dumps (tools/speccc_cnf).
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+  /// Allocate a fresh variable; returns its 0-based index.
+  virtual int new_var() = 0;
+  virtual void add_clause(const sat::Clause& clause) = 0;
+};
+
+struct CnfOptions {
+  enum class Encoder {
+    kCutMap,   ///< cut-based super-gate mapping (the default)
+    kTseitin,  ///< per-gate triples (the seed encoder, kept as a lane)
+  };
+  Encoder encoder = Encoder::kCutMap;
+  /// Cut width k (2..6); truth tables are 64-bit so 6 is the hard cap.
+  int cut_size = 4;
+  /// Cuts kept per node after pruning by area flow.
+  int cuts_per_node = 8;
+};
+
+struct CnfStats {
+  std::size_t vars = 0;          ///< variables the mapper allocated
+  std::size_t clauses = 0;       ///< clauses emitted
+  std::size_t literals = 0;      ///< total literal occurrences emitted
+  std::size_t mapped_gates = 0;  ///< AND nodes that received a variable
+  std::size_t covered_gates = 0; ///< AND nodes inside some chosen cut (incl. mapped)
+  std::size_t flushes = 0;       ///< incremental cone flushes
+};
+
+/// One cube of an irredundant sum-of-products over <= 6 variables: `mask`
+/// says which variables appear, `value` their required phase.
+struct Cube {
+  std::uint8_t mask = 0;
+  std::uint8_t value = 0;
+};
+
+/// Minato-Morreale ISOP of the incompletely specified function
+/// [on, upper]: covers every minterm of `on`, stays inside `upper`
+/// (on must be a subset of upper). Truth tables use the low 2^num_vars
+/// bits. Appends the cubes to `out` and returns the cover's truth table.
+std::uint64_t isop(std::uint64_t on, std::uint64_t upper, int num_vars,
+                   std::vector<Cube>& out);
+
+/// Truth-table helpers (low 2^num_vars bits).
+[[nodiscard]] std::uint64_t tt_full(int num_vars);
+[[nodiscard]] std::uint64_t tt_var(int var, int num_vars);
+
+/// Incremental AIG -> CNF mapper over a ClauseSink.
+class CnfMapper {
+ public:
+  CnfMapper(const Aig& aig, ClauseSink& sink, CnfOptions options = {});
+
+  /// The sat literal equivalent to `e`, emitting CNF for the not-yet-
+  /// flushed part of its transitive fan-in first.
+  sat::Lit literal(Edge e);
+
+  /// The literal for `e` if its node was already flushed (no emission).
+  [[nodiscard]] std::optional<sat::Lit> existing_literal(Edge e) const;
+
+  /// Pre-register a literal for an input or constant edge (the Builder
+  /// registers its eagerly created PI variables and its pinned true
+  /// literal here, so mapper and builder agree on the variable space).
+  void set_literal(Edge e, sat::Lit lit);
+
+  [[nodiscard]] const CnfStats& stats() const { return stats_; }
+  [[nodiscard]] const CnfOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] bool has_literal(std::uint32_t node) const {
+    return node < lits_.size() && lits_[node] != kNoLit;
+  }
+  [[nodiscard]] sat::Lit node_literal(std::uint32_t node) const {
+    return sat::Lit::from_code(lits_[node]);
+  }
+  void record_literal(std::uint32_t node, sat::Lit regular_lit);
+  sat::Lit leaf_literal(std::uint32_t node);
+  void flush_cone(std::uint32_t root);
+  void flush_tseitin(const std::vector<std::uint32_t>& cone);
+  void flush_mapped(const std::vector<std::uint32_t>& cone);
+  void emit(sat::Clause clause);
+  void emit_supergate(sat::Lit out, const std::vector<sat::Lit>& leaf_lits,
+                      std::uint64_t tt, int num_vars);
+  /// ISOP clause count over both output phases; memoized by truth table
+  /// for num_vars <= 4 (the default cut width), where the whole function
+  /// space fits a 64 KiB table.
+  std::uint32_t cut_cost(std::uint64_t tt, int num_vars);
+
+  const Aig& aig_;
+  ClauseSink& sink_;
+  CnfOptions options_;
+  CnfStats stats_;
+
+  static constexpr int kNoLit = -1;
+  std::vector<int> lits_;  // node -> literal code of its regular edge
+
+  // Scratch reused across flushes.
+  std::vector<std::uint32_t> cone_;
+  std::vector<std::uint32_t> stamp_;   // stamp_[n] == stamp_id_: n in cone
+  std::vector<std::uint32_t> slot_;    // cone slot of n when stamped
+  std::uint32_t stamp_id_ = 0;
+  std::vector<Cube> cubes_;
+  std::vector<std::uint8_t> cost_memo_;  // 0xFF = not yet computed
+};
+
+}  // namespace speccc::aig

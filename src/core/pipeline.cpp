@@ -45,16 +45,27 @@ PipelineResult Pipeline::run(
     request.thetas = thetas;
     request.error_budget = options_.error_budget;
     std::optional<timeabs::Abstraction> abstraction;
+    // The cache key folds the encoder only for the SMT backend (as an
+    // offset past the backend enum), so enumeration-backed keys -- and the
+    // pinned snapshot digests built on them -- are unchanged. Distinct
+    // keys per encoder keep the cross-encoder smoke honest: each lane
+    // computes its own abstraction instead of reusing the other's entry.
+    int key_backend = static_cast<int>(options_.timeabs_backend);
+    if (options_.timeabs_backend == timeabs::Backend::kSmt &&
+        options_.smt_encoder == timeabs::SmtEncoder::kTseitin) {
+      key_backend += 2;
+    }
     if (store != nullptr) {
-      const util::Digest key = cache::abstraction_key(
-          request, static_cast<int>(options_.timeabs_backend));
+      const util::Digest key = cache::abstraction_key(request, key_backend);
       abstraction = store->find_abstraction(key);
       if (!abstraction.has_value()) {
-        abstraction = timeabs::optimize(request, options_.timeabs_backend);
+        abstraction = timeabs::optimize(request, options_.timeabs_backend,
+                                        options_.smt_encoder);
         if (abstraction.has_value()) store->put_abstraction(key, *abstraction);
       }
     } else {
-      abstraction = timeabs::optimize(request, options_.timeabs_backend);
+      abstraction = timeabs::optimize(request, options_.timeabs_backend,
+                                      options_.smt_encoder);
     }
     speccc_check(abstraction.has_value(), "abstraction always has d=1 fallback");
     result.abstraction = abstraction;

@@ -31,6 +31,10 @@ struct PipelineOptions {
   bool time_abstraction = true;
   std::uint32_t error_budget = 5;  // the paper's B
   timeabs::Backend timeabs_backend = timeabs::Backend::kEnumeration;
+  /// CNF encoder when timeabs_backend is kSmt (cut-mapped by default; the
+  /// Tseitin lane exists for cross-checking). Canonical output is
+  /// byte-identical across encoders -- the abstraction is unique.
+  timeabs::SmtEncoder smt_encoder = timeabs::SmtEncoder::kCutMap;
   synth::SynthesisOptions synthesis;
   /// Stage-2 decision substrate(s): "auto" (symbolic when applicable, else
   /// bounded -- exactly the old kAuto behavior), a solo substrate name, or

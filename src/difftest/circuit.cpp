@@ -1,0 +1,197 @@
+#include "difftest/circuit.hpp"
+
+#include <sstream>
+
+#include "sat/solver.hpp"
+#include "smt/bitblast.hpp"
+#include "util/diagnostics.hpp"
+
+namespace speccc::difftest {
+namespace {
+
+// One drawn gate: operands index the signal pool (inputs first, then gate
+// outputs in creation order), with per-operand complement flags.
+struct GateDraw {
+  int kind = 0;  // 0 and, 1 or, 2 xor, 3 mux
+  std::size_t a = 0, b = 0, c = 0;
+  bool na = false, nb = false, nc = false;
+};
+
+struct CircuitDraw {
+  std::vector<GateDraw> gates;
+  std::vector<std::size_t> roots;  // pool indices asserted in order
+  std::vector<bool> root_neg;
+};
+
+// The whole case derives from the Rng stream up front, so both encoder
+// runs replay the identical circuit.
+CircuitDraw draw_circuit(util::Rng& rng, const CircuitConfig& config) {
+  CircuitDraw draw;
+  std::size_t pool = config.inputs;
+  for (std::size_t g = 0; g < config.gates; ++g) {
+    GateDraw gate;
+    gate.kind = static_cast<int>(rng.below(4));
+    gate.a = rng.below(pool);
+    gate.b = rng.below(pool);
+    gate.c = rng.below(pool);
+    gate.na = rng.chance(1, 2);
+    gate.nb = rng.chance(1, 2);
+    gate.nc = rng.chance(1, 2);
+    draw.gates.push_back(gate);
+    ++pool;
+  }
+  for (std::size_t r = 0; r < config.roots; ++r) {
+    // Bias roots toward late gates so the asserted cones are deep.
+    const std::size_t lo = pool > pool / 4 ? pool - pool / 4 : 0;
+    draw.roots.push_back(lo + rng.below(pool - lo));
+    draw.root_neg.push_back(rng.chance(1, 2));
+  }
+  return draw;
+}
+
+struct EncoderRun {
+  std::vector<sat::Result> results;  // one per assertion round
+  std::vector<std::string> replay_errors;
+  std::size_t clauses = 0;
+  std::size_t vars = 0;
+};
+
+EncoderRun run_encoder(const CircuitDraw& draw, const CircuitConfig& config,
+                       aig::CnfOptions::Encoder encoder) {
+  sat::Solver solver;
+  smt::BuilderOptions options;
+  options.cnf.encoder = encoder;
+  smt::Builder builder(solver, options);
+
+  std::vector<smt::Bit> pool;
+  pool.reserve(config.inputs + draw.gates.size());
+  for (std::size_t i = 0; i < config.inputs; ++i) {
+    pool.push_back(builder.fresh());
+  }
+  for (const GateDraw& gate : draw.gates) {
+    const smt::Bit a = gate.na ? pool[gate.a].negated() : pool[gate.a];
+    const smt::Bit b = gate.nb ? pool[gate.b].negated() : pool[gate.b];
+    const smt::Bit c = gate.nc ? pool[gate.c].negated() : pool[gate.c];
+    switch (gate.kind) {
+      case 0: pool.push_back(builder.land(a, b)); break;
+      case 1: pool.push_back(builder.lor(a, b)); break;
+      case 2: pool.push_back(builder.lxor(a, b)); break;
+      default: pool.push_back(builder.mux(a, b, c)); break;
+    }
+  }
+
+  EncoderRun run;
+  for (std::size_t r = 0; r < draw.roots.size(); ++r) {
+    const smt::Bit root = draw.root_neg[r] ? pool[draw.roots[r]].negated()
+                                           : pool[draw.roots[r]];
+    builder.require(root);
+    const sat::Result result = builder.solve();
+    run.results.push_back(result);
+    if (result == sat::Result::kSat) {
+      // Model replay: evaluate the circuit under the solver's PI
+      // assignment. Every asserted root so far must come out true.
+      for (std::size_t k = 0; k <= r; ++k) {
+        const smt::Bit earlier = draw.root_neg[k]
+                                     ? pool[draw.roots[k]].negated()
+                                     : pool[draw.roots[k]];
+        if (!builder.value(earlier)) {
+          run.replay_errors.push_back(
+              "model fails circuit replay of assertion " + std::to_string(k) +
+              " after round " + std::to_string(r));
+        }
+      }
+    }
+    if (result == sat::Result::kUnsat) break;  // later rounds stay UNSAT
+  }
+  run.clauses = builder.cnf_stats().clauses;
+  run.vars = builder.cnf_stats().vars;
+  return run;
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::optional<std::string> check_circuit(std::uint64_t case_seed,
+                                         const CircuitConfig& config) {
+  util::Rng rng(case_seed);
+  const CircuitDraw draw = draw_circuit(rng, config);
+  const EncoderRun mapped =
+      run_encoder(draw, config, aig::CnfOptions::Encoder::kCutMap);
+  const EncoderRun tseitin =
+      run_encoder(draw, config, aig::CnfOptions::Encoder::kTseitin);
+
+  std::ostringstream problems;
+  if (mapped.results != tseitin.results) {
+    problems << "encoders disagree:";
+    for (std::size_t r = 0;
+         r < std::max(mapped.results.size(), tseitin.results.size()); ++r) {
+      const auto name = [](const EncoderRun& run, std::size_t i) {
+        if (i >= run.results.size()) return std::string("-");
+        return std::string(run.results[i] == sat::Result::kSat ? "sat"
+                                                               : "unsat");
+      };
+      problems << " round" << r << "=(mapped " << name(mapped, r)
+               << ", tseitin " << name(tseitin, r) << ")";
+    }
+    problems << "; ";
+  }
+  for (const std::string& error : mapped.replay_errors) {
+    problems << "mapped: " << error << "; ";
+  }
+  for (const std::string& error : tseitin.replay_errors) {
+    problems << "tseitin: " << error << "; ";
+  }
+  const std::string text = problems.str();
+  if (text.empty()) return std::nullopt;
+  return text + "(mapped " + std::to_string(mapped.vars) + "v/" +
+         std::to_string(mapped.clauses) + "c, tseitin " +
+         std::to_string(tseitin.vars) + "v/" + std::to_string(tseitin.clauses) +
+         "c)";
+}
+
+CircuitReport run_circuits(std::uint64_t master_seed, int cases,
+                           const CircuitConfig& config, int only_case) {
+  CircuitReport report;
+  for (int i = 0; i < cases; ++i) {
+    if (only_case >= 0 && i != only_case) continue;
+    // Same salted-splitmix discipline as harness case_seed(), with a
+    // circuit-lane salt so circuit cases never collide with the formula
+    // or spec streams of the same master seed.
+    const std::uint64_t cs =
+        mix(master_seed +
+            0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(i) + 1) +
+            0x63697263756974ULL);
+    ++report.checked;
+    if (const auto failure = check_circuit(cs, config)) {
+      CircuitFailure f;
+      f.index = i;
+      f.case_seed = cs;
+      f.detail = *failure;
+      f.reproduce = "speccc_fuzz --seed " + std::to_string(master_seed) +
+                    " --circuit-case " + std::to_string(i);
+      report.failures.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+std::string describe(const CircuitReport& report) {
+  std::ostringstream out;
+  out << report.checked << " circuit case(s), " << report.failures.size()
+      << " failure(s)\n";
+  for (const CircuitFailure& failure : report.failures) {
+    out << "\ncircuit case " << failure.index << " (case seed "
+        << failure.case_seed << ")\n"
+        << "  property:  " << failure.detail << "\n"
+        << "  reproduce: " << failure.reproduce << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace speccc::difftest

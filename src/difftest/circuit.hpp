@@ -1,0 +1,61 @@
+// Differential testing of the AIG -> CNF encoders: seeded random circuits
+// are encoded through both the cut-based mapper and the Tseitin lane, the
+// two must be equisatisfiable, and every SAT model must replay to true
+// through the circuit semantics themselves (aig::Aig::evaluate_all). This
+// is the standing oracle for src/aig/cnf.cpp -- a super-gate emitted with
+// a wrong truth table shows up here as an encoder disagreement or a model
+// that fails replay, pinned to a one-command reproduction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace speccc::difftest {
+
+/// Shape of random circuits: a primary-input pool and a gate budget. Gates
+/// draw uniformly from AND/OR/XOR/MUX over random (possibly complemented)
+/// earlier signals, so structural hashing and constant folding both get
+/// exercised -- a draw may collapse to an existing node or a constant.
+struct CircuitConfig {
+  std::size_t inputs = 8;
+  std::size_t gates = 120;
+  /// Assertions per case. Each assertion root is a random signal asserted
+  /// in its own solve() round, so later roots exercise the incremental
+  /// flush path (earlier cones act as free leaves).
+  std::size_t roots = 3;
+};
+
+/// Cross-check one seeded random circuit. Returns a failure description
+/// (encoder disagreement or model-replay mismatch), or nullopt when the
+/// case holds.
+[[nodiscard]] std::optional<std::string> check_circuit(
+    std::uint64_t case_seed, const CircuitConfig& config = {});
+
+struct CircuitFailure {
+  int index = 0;
+  std::uint64_t case_seed = 0;
+  std::string detail;
+  std::string reproduce;  // one command replaying exactly this case
+};
+
+struct CircuitReport {
+  int checked = 0;
+  std::vector<CircuitFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Run `cases` circuit cross-checks with per-case seeds derived from
+/// `master_seed` (same derivation discipline as the formula/spec lanes:
+/// any failure replays alone via its index). `only_case` >= 0 restricts
+/// the run to that single index.
+[[nodiscard]] CircuitReport run_circuits(std::uint64_t master_seed, int cases,
+                                         const CircuitConfig& config = {},
+                                         int only_case = -1);
+
+/// Human-readable report of a circuit sweep.
+[[nodiscard]] std::string describe(const CircuitReport& report);
+
+}  // namespace speccc::difftest

@@ -14,7 +14,49 @@ int Solver::new_var() {
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
   return v;
+}
+
+void Solver::heap_up(std::size_t i) {
+  const int v = heap_[i];
+  const double a = vars_[v].activity;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (vars_[heap_[parent]].activity >= a) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+void Solver::heap_down(std::size_t i) {
+  const int v = heap_[i];
+  const double a = vars_[v].activity;
+  const std::size_t size = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        vars_[heap_[child + 1]].activity > vars_[heap_[child]].activity) {
+      ++child;
+    }
+    if (vars_[heap_[child]].activity <= a) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<int>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<int>(i);
+}
+
+void Solver::heap_insert(int var) {
+  if (heap_pos_[var] >= 0) return;
+  heap_.push_back(var);
+  heap_up(heap_.size() - 1);
 }
 
 Solver::Value Solver::lit_value(Lit l) const {
@@ -22,6 +64,22 @@ Solver::Value Solver::lit_value(Lit l) const {
   if (v == Value::kUndef) return Value::kUndef;
   const bool b = (v == Value::kTrue) == l.positive();
   return b ? Value::kTrue : Value::kFalse;
+}
+
+std::uint32_t Solver::alloc_clause(const Clause& clause, bool learned,
+                                   std::uint32_t lbd) {
+  const auto ref = static_cast<std::uint32_t>(arena_.size());
+  // Reason tagging steals the top bit, so arena offsets must stay below
+  // kBinaryTag (2^31 words = 8 GiB of clauses -- far past any workload).
+  speccc_check(arena_.size() + 2 + clause.size() < kBinaryTag,
+               "clause arena overflow");
+  arena_.push_back(static_cast<std::uint32_t>(clause.size()));
+  arena_.push_back((lbd << 1) | (learned ? 1u : 0u));
+  for (const Lit l : clause) {
+    arena_.push_back(static_cast<std::uint32_t>(l.code()));
+  }
+  ++num_clauses_;
+  return ref;
 }
 
 void Solver::add_clause(Clause clause) {
@@ -63,22 +121,34 @@ void Solver::add_clause(Clause clause) {
       return;
     }
     if (lit_value(active[0]) == Value::kUndef) {
-      enqueue(active[0], -1);
-      if (propagate() != -1) unsat_ = true;
+      enqueue(active[0], kRefNone);
+      if (propagate() != kRefNone) unsat_ = true;
     }
     return;
   }
-  clauses_.push_back({std::move(active), false});
-  attach(static_cast<int>(clauses_.size()) - 1);
+  if (active.size() == 2) {
+    attach_binary(active[0], active[1]);
+    ++num_clauses_;
+    return;
+  }
+  attach(alloc_clause(active, false, 0));
 }
 
-void Solver::attach(int clause_index) {
-  const Clause& c = clauses_[clause_index].lits;
-  watches_[c[0].negated().code()].push_back({clause_index, c[1]});
-  watches_[c[1].negated().code()].push_back({clause_index, c[0]});
+void Solver::attach(std::uint32_t ref) {
+  const Lit l0 = Lit::from_code(static_cast<int>(arena_[ref + 2]));
+  const Lit l1 = Lit::from_code(static_cast<int>(arena_[ref + 3]));
+  watches_[l0.negated().code()].push_back({ref, l1});
+  watches_[l1.negated().code()].push_back({ref, l0});
 }
 
-void Solver::enqueue(Lit l, int reason) {
+void Solver::attach_binary(Lit a, Lit b) {
+  watches_[a.negated().code()].push_back(
+      {kBinaryTag | static_cast<std::uint32_t>(b.code()), b});
+  watches_[b.negated().code()].push_back(
+      {kBinaryTag | static_cast<std::uint32_t>(a.code()), a});
+}
+
+void Solver::enqueue(Lit l, std::uint32_t reason) {
   speccc_check(lit_value(l) == Value::kUndef, "enqueue on assigned literal");
   assign_[l.var()] = l.positive() ? Value::kTrue : Value::kFalse;
   vars_[l.var()].reason = reason;
@@ -86,7 +156,7 @@ void Solver::enqueue(Lit l, int reason) {
   trail_.push_back(l);
 }
 
-int Solver::propagate() {
+std::uint32_t Solver::propagate() {
   while (queue_head_ < trail_.size()) {
     const Lit p = trail_[queue_head_++];
     ++stats_.propagations;
@@ -94,47 +164,70 @@ int Solver::propagate() {
     std::size_t keep = 0;
     for (std::size_t i = 0; i < watchers.size(); ++i) {
       const Watcher w = watchers[i];
+      if (!is_arena_ref(w.ref)) {
+        // Binary clause {p.negated(), w.blocker}: nothing to migrate, the
+        // watcher stays put forever.
+        watchers[keep++] = w;
+        const Value v = lit_value(w.blocker);
+        if (v == Value::kTrue) continue;
+        if (v == Value::kFalse) {
+          binary_conflict_[0] = w.blocker;
+          binary_conflict_[1] = p.negated();
+          for (++i; i < watchers.size(); ++i) watchers[keep++] = watchers[i];
+          watchers.resize(keep);
+          return kConflictBinary;
+        }
+        enqueue(w.blocker,
+                kBinaryTag | static_cast<std::uint32_t>(p.negated().code()));
+        continue;
+      }
       if (lit_value(w.blocker) == Value::kTrue) {
         watchers[keep++] = w;
         continue;
       }
-      Clause& c = clauses_[w.clause_index].lits;
-      // Normalize: make c[0] the other watched literal.
-      const Lit false_lit = p.negated();
-      if (c[0] == false_lit) std::swap(c[0], c[1]);
-      if (lit_value(c[0]) == Value::kTrue) {
-        watchers[keep++] = {w.clause_index, c[0]};
+      std::uint32_t* lits = &arena_[w.ref + 2];
+      const std::uint32_t size = arena_[w.ref];
+      // Normalize: make lits[0] the other watched literal.
+      const auto false_code = static_cast<std::uint32_t>(p.negated().code());
+      if (lits[0] == false_code) std::swap(lits[0], lits[1]);
+      const Lit first = Lit::from_code(static_cast<int>(lits[0]));
+      if (lit_value(first) == Value::kTrue) {
+        watchers[keep++] = {w.ref, first};
         continue;
       }
       // Find a new literal to watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
-        if (lit_value(c[k]) != Value::kFalse) {
-          std::swap(c[1], c[k]);
-          watches_[c[1].negated().code()].push_back({w.clause_index, c[0]});
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (lit_value(Lit::from_code(static_cast<int>(lits[k]))) !=
+            Value::kFalse) {
+          std::swap(lits[1], lits[k]);
+          const Lit new_watch = Lit::from_code(static_cast<int>(lits[1]));
+          watches_[new_watch.negated().code()].push_back({w.ref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
       // Unit or conflicting.
-      if (lit_value(c[0]) == Value::kFalse) {
+      if (lit_value(first) == Value::kFalse) {
         // Conflict: restore remaining watchers and report.
         for (; i < watchers.size(); ++i) watchers[keep++] = watchers[i];
         watchers.resize(keep);
-        return w.clause_index;
+        return w.ref;
       }
       watchers[keep++] = w;
-      enqueue(c[0], w.clause_index);
+      enqueue(first, w.ref);
     }
     watchers.resize(keep);
   }
-  return -1;
+  return kRefNone;
 }
 
 void Solver::bump(int var) {
   vars_[var].activity += activity_increment_;
+  if (heap_pos_[var] >= 0) heap_up(static_cast<std::size_t>(heap_pos_[var]));
   if (vars_[var].activity > 1e100) {
+    // Uniform rescale: relative order is unchanged, the heap stays valid.
     for (auto& v : vars_) v.activity *= 1e-100;
     activity_increment_ *= 1e-100;
   }
@@ -142,7 +235,8 @@ void Solver::bump(int var) {
 
 void Solver::decay() { activity_increment_ /= 0.95; }
 
-void Solver::analyze(int conflict, Clause& learned, int& backtrack_level) {
+void Solver::analyze(std::uint32_t conflict, Clause& learned,
+                     int& backtrack_level) {
   learned.clear();
   learned.push_back(Lit());  // placeholder for the asserting literal
   int counter = 0;
@@ -151,19 +245,43 @@ void Solver::analyze(int conflict, Clause& learned, int& backtrack_level) {
   std::size_t trail_index = trail_.size();
   const int current_level = static_cast<int>(trail_limits_.size());
 
-  int reason_index = conflict;
+  const auto visit = [&](Lit q) {
+    if (seen_[q.var()] || vars_[q.var()].level == 0) return;
+    seen_[q.var()] = true;
+    bump(q.var());
+    if (vars_[q.var()].level >= current_level) {
+      ++counter;
+    } else {
+      learned.push_back(q);
+    }
+  };
+
+  std::uint32_t reason = conflict;
   for (;;) {
-    speccc_check(reason_index != -1, "analyze requires a reason clause");
-    const Clause& reason = clauses_[reason_index].lits;
-    for (std::size_t i = p_valid ? 1 : 0; i < reason.size(); ++i) {
-      const Lit q = reason[i];
-      if (seen_[q.var()] || vars_[q.var()].level == 0) continue;
-      seen_[q.var()] = true;
-      bump(q.var());
-      if (vars_[q.var()].level >= current_level) {
-        ++counter;
-      } else {
-        learned.push_back(q);
+    speccc_check(reason != kRefNone, "analyze requires a reason clause");
+    if (reason == kConflictBinary) {
+      visit(binary_conflict_[0]);
+      visit(binary_conflict_[1]);
+    } else if (!is_arena_ref(reason)) {
+      // Binary reason for p: the clause is {p, other}; only the other
+      // literal resolves in.
+      visit(Lit::from_code(static_cast<int>(reason & ~kBinaryTag)));
+    } else {
+      std::uint32_t* lits = &arena_[reason + 2];
+      const std::uint32_t size = arena_[reason];
+      if (p_valid) {
+        // For resolution steps the reason's first literal is p itself.
+        if (Lit::from_code(static_cast<int>(lits[0])) != p) {
+          for (std::uint32_t k = 1; k < size; ++k) {
+            if (Lit::from_code(static_cast<int>(lits[k])) == p) {
+              std::swap(lits[0], lits[k]);
+              break;
+            }
+          }
+        }
+      }
+      for (std::uint32_t k = p_valid ? 1 : 0; k < size; ++k) {
+        visit(Lit::from_code(static_cast<int>(lits[k])));
       }
     }
     // Select the next literal on the trail to resolve.
@@ -174,22 +292,25 @@ void Solver::analyze(int conflict, Clause& learned, int& backtrack_level) {
     seen_[p.var()] = false;
     --counter;
     if (counter == 0) break;
-    reason_index = vars_[p.var()].reason;
+    reason = vars_[p.var()].reason;
     p_valid = true;
-    // For resolution steps, the reason clause's first literal is p itself.
-    if (reason_index != -1) {
-      Clause& rc = clauses_[reason_index].lits;
-      if (rc[0] != p) {
-        for (std::size_t k = 1; k < rc.size(); ++k) {
-          if (rc[k] == p) {
-            std::swap(rc[0], rc[k]);
-            break;
-          }
-        }
-      }
-    }
   }
   learned[0] = p.negated();
+
+  // Conflict-clause minimization: drop literals implied by the rest of the
+  // clause through their reason chains (MiniSat's recursive strengthening).
+  // seen_ currently marks exactly learned[1..]; lit_redundant memoizes
+  // established-redundant vars as additional seen_ marks.
+  analyze_toclear_.assign(learned.begin() + 1, learned.end());
+  std::size_t write = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    if (vars_[learned[i].var()].reason == kRefNone ||
+        !lit_redundant(learned[i])) {
+      learned[write++] = learned[i];
+    }
+  }
+  learned.resize(write);
+  for (const Lit l : analyze_toclear_) seen_[l.var()] = false;
 
   // Compute backtrack level = max level among learned[1..].
   backtrack_level = 0;
@@ -202,7 +323,47 @@ void Solver::analyze(int conflict, Clause& learned, int& backtrack_level) {
     }
   }
   if (learned.size() > 1) std::swap(learned[1], learned[max_index]);
-  for (std::size_t i = 1; i < learned.size(); ++i) seen_[learned[i].var()] = false;
+}
+
+bool Solver::lit_redundant(Lit p0) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p0);
+  const std::size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit p = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const std::uint32_t reason = vars_[p.var()].reason;
+    speccc_check(reason != kRefNone, "redundancy walk reached a decision");
+    const auto antecedent = [&](Lit q) {
+      if (q.var() == p.var() || seen_[q.var()] || vars_[q.var()].level == 0) {
+        return true;
+      }
+      if (vars_[q.var()].reason == kRefNone) return false;
+      seen_[q.var()] = true;
+      analyze_toclear_.push_back(q);
+      analyze_stack_.push_back(q);
+      return true;
+    };
+    bool ok = true;
+    if (!is_arena_ref(reason)) {
+      ok = antecedent(Lit::from_code(static_cast<int>(reason & ~kBinaryTag)));
+    } else {
+      const std::uint32_t size = arena_[reason];
+      for (std::uint32_t k = 0; ok && k < size; ++k) {
+        ok = antecedent(Lit::from_code(static_cast<int>(arena_[reason + 2 + k])));
+      }
+    }
+    if (!ok) {
+      // Not redundant: undo the marks this walk added (they are only
+      // known reachable-from-p0, not implied by the clause).
+      for (std::size_t j = top; j < analyze_toclear_.size(); ++j) {
+        seen_[analyze_toclear_[j].var()] = false;
+      }
+      analyze_toclear_.resize(top);
+      return false;
+    }
+  }
+  return true;
 }
 
 void Solver::backtrack(int level) {
@@ -212,7 +373,8 @@ void Solver::backtrack(int level) {
     const int v = trail_[i].var();
     vars_[v].saved_phase = assign_[v] == Value::kTrue;
     assign_[v] = Value::kUndef;
-    vars_[v].reason = -1;
+    vars_[v].reason = kRefNone;
+    heap_insert(v);
   }
   trail_.resize(limit);
   trail_limits_.resize(level);
@@ -220,16 +382,21 @@ void Solver::backtrack(int level) {
 }
 
 Lit Solver::pick_branch() {
-  int best = -1;
-  double best_activity = -1.0;
-  for (int v = 0; v < num_vars(); ++v) {
-    if (assign_[v] == Value::kUndef && vars_[v].activity > best_activity) {
-      best = v;
-      best_activity = vars_[v].activity;
+  // Pop until an unassigned var surfaces; assigned entries are stale (they
+  // re-enter the heap when backtracking unassigns them).
+  while (!heap_.empty()) {
+    const int v = heap_[0];
+    heap_pos_[v] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_pos_[heap_[0]] = 0;
+      heap_down(0);
     }
+    if (assign_[v] == Value::kUndef) return Lit(v, vars_[v].saved_phase);
   }
-  speccc_check(best >= 0, "pick_branch with full assignment");
-  return Lit(best, vars_[best].saved_phase);
+  speccc_check(false, "pick_branch with full assignment");
+  return Lit(0, false);
 }
 
 std::uint32_t Solver::clause_lbd(const Clause& clause) const {
@@ -250,51 +417,85 @@ void Solver::reduce_learned() {
   speccc_check(trail_limits_.empty(), "reduce_learned above decision level 0");
   // Never delete: original clauses, reasons of (level-0) assignments, and
   // glue clauses (LBD <= 2 -- they connect at most two decision blocks and
-  // are the ones worth keeping forever).
-  std::vector<char> locked(clauses_.size(), 0);
+  // are the ones worth keeping forever). Binary clauses are all glue and
+  // never enter the arena, so they need no handling here beyond keeping
+  // their watchers intact below.
+  std::vector<std::uint32_t> locked;
   for (const Lit l : trail_) {
-    const int reason = vars_[l.var()].reason;
-    if (reason >= 0) locked[static_cast<std::size_t>(reason)] = 1;
+    const std::uint32_t reason = vars_[l.var()].reason;
+    if (reason != kRefNone && is_arena_ref(reason)) locked.push_back(reason);
   }
-  std::vector<int> candidates;
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
-    if (clauses_[i].learned && !locked[i] && clauses_[i].lbd > 2) {
-      candidates.push_back(static_cast<int>(i));
+  std::sort(locked.begin(), locked.end());
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t ref = 0; ref < arena_.size();
+       ref += 2 + arena_[ref]) {
+    const std::uint32_t info = arena_[ref + 1];
+    if ((info & 1u) != 0 && (info >> 1) > 2 &&
+        !std::binary_search(locked.begin(), locked.end(), ref)) {
+      candidates.push_back(ref);
     }
   }
   // Delete the worse half: higher LBD first; within a tier, older first
-  // (stable sort keeps index order, and smaller index = learned earlier).
-  std::stable_sort(candidates.begin(), candidates.end(), [this](int a, int b) {
-    return clauses_[static_cast<std::size_t>(a)].lbd >
-           clauses_[static_cast<std::size_t>(b)].lbd;
-  });
+  // (stable sort keeps ref order, and a smaller ref = learned earlier).
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return (arena_[a + 1] >> 1) > (arena_[b + 1] >> 1);
+                   });
   const std::size_t to_delete = candidates.size() / 2;
   if (to_delete == 0) return;
-  std::vector<char> drop(clauses_.size(), 0);
-  for (std::size_t i = 0; i < to_delete; ++i) {
-    drop[static_cast<std::size_t>(candidates[i])] = 1;
-  }
+  std::vector<std::uint32_t> drop(candidates.begin(),
+                                  candidates.begin() + to_delete);
+  std::sort(drop.begin(), drop.end());
 
-  // Compact the clause vector, then rebuild every index that referenced
-  // it: watcher lists from scratch, trail reasons via the remap (reasons
-  // are locked, so they always survive).
-  std::vector<int> remap(clauses_.size(), -1);
-  std::vector<ClauseData> kept;
-  kept.reserve(clauses_.size() - to_delete);
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
-    if (drop[i]) continue;
-    remap[i] = static_cast<int>(kept.size());
-    kept.push_back(std::move(clauses_[i]));
+  // Compact the arena in place, recording old-ref -> new-ref pairs
+  // (ascending in old ref, so remapping is a binary search), then fix
+  // every index that referenced it: watcher refs and trail reasons.
+  // Binary watchers and binary reasons carry no arena ref and pass
+  // through untouched.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> remap;
+  std::uint32_t write = 0;
+  for (std::uint32_t ref = 0; ref < arena_.size();) {
+    const std::uint32_t len = 2 + arena_[ref];
+    if (std::binary_search(drop.begin(), drop.end(), ref)) {
+      ref += len;
+      continue;
+    }
+    remap.emplace_back(ref, write);
+    if (write != ref) {
+      for (std::uint32_t j = 0; j < len; ++j) arena_[write + j] = arena_[ref + j];
+    }
+    write += len;
+    ref += len;
   }
-  clauses_ = std::move(kept);
-  for (auto& watchers : watches_) watchers.clear();
-  for (std::size_t i = 0; i < clauses_.size(); ++i) {
-    attach(static_cast<int>(i));
+  arena_.resize(write);
+  const auto remapped = [&](std::uint32_t ref) -> std::uint32_t {
+    const auto it = std::lower_bound(
+        remap.begin(), remap.end(), ref,
+        [](const auto& entry, std::uint32_t key) { return entry.first < key; });
+    if (it == remap.end() || it->first != ref) return kRefNone;
+    return it->second;
+  };
+  for (auto& watchers : watches_) {
+    std::size_t keep = 0;
+    for (const Watcher& w : watchers) {
+      if (!is_arena_ref(w.ref)) {
+        watchers[keep++] = w;
+        continue;
+      }
+      const std::uint32_t new_ref = remapped(w.ref);
+      if (new_ref != kRefNone) watchers[keep++] = {new_ref, w.blocker};
+    }
+    watchers.resize(keep);
   }
   for (auto& v : vars_) {
-    if (v.reason >= 0) v.reason = remap[static_cast<std::size_t>(v.reason)];
+    if (v.reason != kRefNone && is_arena_ref(v.reason)) {
+      const std::uint32_t new_ref = remapped(v.reason);
+      speccc_check(new_ref != kRefNone, "trail reason deleted by reduction");
+      v.reason = new_ref;
+    }
   }
   num_learned_ -= to_delete;
+  num_clauses_ -= to_delete;
   stats_.deleted += to_delete;
   ++stats_.reductions;
 }
@@ -332,12 +533,19 @@ void Solver::analyze_final(Lit failed, const std::vector<Lit>& assumptions) {
       const Lit p = trail_[static_cast<std::size_t>(i)];
       if (!seen_[p.var()]) continue;
       seen_[p.var()] = false;
-      const int reason = vars_[p.var()].reason;
-      if (reason == -1) {
+      const std::uint32_t reason = vars_[p.var()].reason;
+      if (reason == kRefNone) {
         failed_assumptions_[p.var()] = true;
         continue;
       }
-      for (const Lit q : clauses_[reason].lits) {
+      if (!is_arena_ref(reason)) {
+        const Lit q = Lit::from_code(static_cast<int>(reason & ~kBinaryTag));
+        if (vars_[q.var()].level > 0) seen_[q.var()] = true;
+        continue;
+      }
+      const std::uint32_t size = arena_[reason];
+      for (std::uint32_t k = 0; k < size; ++k) {
+        const Lit q = Lit::from_code(static_cast<int>(arena_[reason + 2 + k]));
         if (q.var() != p.var() && vars_[q.var()].level > 0) {
           seen_[q.var()] = true;
         }
@@ -363,7 +571,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   failed_assumptions_.assign(static_cast<std::size_t>(num_vars()), false);
   if (unsat_) return Result::kUnsat;
   backtrack(0);
-  if (propagate() != -1) {
+  if (propagate() != kRefNone) {
     unsat_ = true;
     return Result::kUnsat;
   }
@@ -377,8 +585,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   std::uint64_t conflicts_this_round = 0;
 
   for (;;) {
-    const int conflict = propagate();
-    if (conflict != -1) {
+    const std::uint32_t conflict = propagate();
+    if (conflict != kRefNone) {
       ++stats_.conflicts;
       ++conflicts_this_round;
       if (trail_limits_.empty()) {
@@ -399,13 +607,22 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
           unsat_ = true;
           return Result::kUnsat;
         }
-        if (lit_value(learned[0]) == Value::kUndef) enqueue(learned[0], -1);
-      } else {
-        clauses_.push_back({learned, true, lbd});
+        if (lit_value(learned[0]) == Value::kUndef) {
+          enqueue(learned[0], kRefNone);
+        }
+      } else if (learned.size() == 2) {
+        attach_binary(learned[0], learned[1]);
+        ++num_clauses_;
         ++stats_.learned;
         ++num_learned_;
-        attach(static_cast<int>(clauses_.size()) - 1);
-        enqueue(learned[0], static_cast<int>(clauses_.size()) - 1);
+        enqueue(learned[0],
+                kBinaryTag | static_cast<std::uint32_t>(learned[1].code()));
+      } else {
+        const std::uint32_t ref = alloc_clause(learned, true, lbd);
+        ++stats_.learned;
+        ++num_learned_;
+        attach(ref);
+        enqueue(learned[0], ref);
       }
       decay();
       if (conflicts_this_round >= conflicts_until_restart) {
@@ -435,7 +652,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       trail_limits_.push_back(static_cast<int>(trail_.size()));
       ++stats_.decisions;
-      enqueue(l, -1);
+      enqueue(l, kRefNone);
       made_decision = true;
       break;
     }
@@ -451,7 +668,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     }
     trail_limits_.push_back(static_cast<int>(trail_.size()));
     ++stats_.decisions;
-    enqueue(pick_branch(), -1);
+    enqueue(pick_branch(), kRefNone);
   }
 }
 

@@ -34,6 +34,16 @@
 // entry and restarts), never mid-search, and is always sound -- learned
 // clauses are implied, so deleting them can only cost repeated work.
 // Short runs never reach the default cap and behave exactly as before.
+//
+// Clause storage: clauses live in one flat 32-bit word arena
+// ([size][(lbd<<1)|learned][lit codes...] per clause, referenced by the
+// offset of the header word) instead of per-clause heap vectors, so
+// propagate() walks contiguous memory and reduce_learned() compacts the
+// arena in place (remapping watcher refs and trail reasons). Binary
+// clauses never enter the arena at all: each lives directly in its two
+// watcher lists (the watcher's blocker IS the other literal), and a
+// binary reason is encoded as a tagged literal code rather than a clause
+// reference -- propagation on binaries touches no clause memory.
 #pragma once
 
 #include <cstdint>
@@ -123,28 +133,40 @@ class Solver {
   [[nodiscard]] std::size_t learned_cap() const { return learned_cap_; }
   /// Live learned clauses currently in the database.
   [[nodiscard]] std::size_t num_learned() const { return num_learned_; }
-  /// Total clauses (original + live learned) in the database -- the
-  /// memory-relevant counter the long-lived-worker test pins.
-  [[nodiscard]] std::size_t num_clauses() const { return clauses_.size(); }
+  /// Total clauses (original + live learned, including binaries stored
+  /// inline in the watcher lists) -- the memory-relevant counter the
+  /// long-lived-worker test pins.
+  [[nodiscard]] std::size_t num_clauses() const { return num_clauses_; }
 
  private:
   enum class Value : std::int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
-  struct ClauseData {
-    Clause lits;
-    bool learned = false;
-    /// Literal-block distance at learn time (distinct decision levels);
-    /// the Glucose quality measure reduction sorts by. 0 for originals.
-    std::uint32_t lbd = 0;
-  };
+  // Tagged 32-bit clause references.
+  //
+  // A plain value < kBinaryTag is an offset into arena_ pointing at a
+  // clause header. As a *reason*, kBinaryTag | code means "the binary
+  // clause {implied_lit, Lit::from_code(code)}". kRefNone marks "no
+  // reason" (decisions / unassigned); kConflictBinary is propagate()'s
+  // return for a binary-clause conflict, whose two literals are then in
+  // binary_conflict_.
+  static constexpr std::uint32_t kRefNone = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kConflictBinary = 0xFFFFFFFEu;
+  static constexpr std::uint32_t kBinaryTag = 0x80000000u;
+  [[nodiscard]] static bool is_arena_ref(std::uint32_t ref) {
+    return (ref & kBinaryTag) == 0;
+  }
 
   struct Watcher {
-    int clause_index;
+    // Arena ref of the watched clause, or kBinaryTag | other_lit_code for
+    // a binary clause living entirely in the watcher lists.
+    std::uint32_t ref;
+    // For arena clauses a cached literal whose truth satisfies the clause
+    // (skip the memory touch); for binaries, THE other literal.
     Lit blocker;
   };
 
   struct VarInfo {
-    int reason = -1;   // clause index that implied this var, -1 if decision
+    std::uint32_t reason = kRefNone;  // tagged ref that implied this var
     int level = 0;
     double activity = 0.0;
     bool saved_phase = false;
@@ -152,32 +174,54 @@ class Solver {
 
   [[nodiscard]] Value lit_value(Lit l) const;
   void analyze_final(Lit failed, const std::vector<Lit>& assumptions);
-  void enqueue(Lit l, int reason);
-  int propagate();  // returns conflicting clause index or -1
-  void analyze(int conflict, Clause& learned, int& backtrack_level);
+  void enqueue(Lit l, std::uint32_t reason);
+  std::uint32_t propagate();  // tagged conflict ref, or kRefNone if none
+  void analyze(std::uint32_t conflict, Clause& learned, int& backtrack_level);
+  bool lit_redundant(Lit p);
   void backtrack(int level);
   void bump(int var);
   void decay();
   Lit pick_branch();
-  void attach(int clause_index);
+  void heap_insert(int var);
+  void heap_up(std::size_t i);
+  void heap_down(std::size_t i);
+  std::uint32_t alloc_clause(const Clause& clause, bool learned,
+                             std::uint32_t lbd);
+  void attach(std::uint32_t ref);
+  void attach_binary(Lit a, Lit b);
   [[nodiscard]] std::uint32_t clause_lbd(const Clause& clause) const;
   void reduce_learned();  // requires decision level 0
   static std::uint64_t luby(std::uint64_t i);
 
-  std::vector<ClauseData> clauses_;
+  // Flat clause arena: [size][(lbd << 1) | learned][size literal codes]
+  // per clause; refs are offsets of the header word. Compacted in place
+  // by reduce_learned(). Binary clauses are not stored here.
+  std::vector<std::uint32_t> arena_;
   std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
   std::vector<Value> assign_;
   std::vector<VarInfo> vars_;
   std::vector<Lit> trail_;
   std::vector<int> trail_limits_;
   std::size_t queue_head_ = 0;
+  // VSIDS order heap: binary max-heap of candidate decision vars by
+  // activity. Vars are re-inserted as backtracking unassigns them; stale
+  // (assigned) entries are discarded lazily in pick_branch. Uniform
+  // activity rescaling preserves the heap order, so bump() only has to
+  // sift the bumped var.
+  std::vector<int> heap_;
+  std::vector<int> heap_pos_;  // var -> index in heap_, -1 when absent
   double activity_increment_ = 1.0;
   std::size_t learned_cap_ = kDefaultLearnedCap;
   std::size_t num_learned_ = 0;
+  std::size_t num_clauses_ = 0;
   bool unsat_ = false;
+  Lit binary_conflict_[2];  // the literals behind a kConflictBinary return
   std::vector<Lit> core_;
   std::vector<bool> failed_assumptions_;
   std::vector<bool> seen_;
+  // Scratch for conflict-clause minimization (analyze/lit_redundant).
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_toclear_;
   Stats stats_;
 };
 

@@ -8,13 +8,27 @@ namespace speccc::smt {
 
 using sat::Lit;
 
-Builder::Builder(sat::Solver& solver) : solver_(solver) {
-  const int v = solver_.new_var();
-  true_ = Lit(v, true);
-  solver_.add_unit(true_);
+Builder::Builder(sat::Solver& solver, BuilderOptions options)
+    : solver_(solver),
+      sink_(solver, options.tee),
+      mapper_(aig_, sink_, options.cnf) {
+  // Pin a true variable and register it with the mapper so CNF referencing
+  // the constant edge shares it (and the tee sees the pinning unit).
+  true_ = Lit(sink_.new_var(), true);
+  sink_.add_clause({true_});
+  mapper_.set_literal(bit_true(), true_);
 }
 
-Lit Builder::fresh() { return Lit(solver_.new_var(), true); }
+Bit Builder::fresh() {
+  const Bit b = aig_.add_input();
+  // Inputs get their solver variable eagerly: models must assign every
+  // primary input so value() can replay them through the AIG, and the
+  // mapper treats registered inputs as free leaves.
+  const Lit l(sink_.new_var(), true);
+  mapper_.set_literal(b, l);
+  input_lits_.push_back(l);
+  return b;
+}
 
 BitVec Builder::var(std::size_t width) {
   BitVec out;
@@ -30,52 +44,15 @@ BitVec Builder::constant(std::uint64_t value, std::size_t width) {
   out.bits.reserve(width);
   for (std::size_t i = 0; i < width; ++i) {
     const bool bit = i < 64 && ((value >> i) & 1) != 0;
-    out.bits.push_back(bit ? lit_true() : lit_false());
+    out.bits.push_back(aig::Aig::constant(bit));
   }
   return out;
-}
-
-Lit Builder::land(Lit a, Lit b) {
-  if (a == lit_true()) return b;
-  if (b == lit_true()) return a;
-  if (a == lit_false() || b == lit_false()) return lit_false();
-  if (a == b) return a;
-  if (a == b.negated()) return lit_false();
-  const Lit o = fresh();
-  solver_.add_binary(o.negated(), a);
-  solver_.add_binary(o.negated(), b);
-  solver_.add_ternary(o, a.negated(), b.negated());
-  return o;
-}
-
-Lit Builder::lor(Lit a, Lit b) { return land(a.negated(), b.negated()).negated(); }
-
-Lit Builder::lxor(Lit a, Lit b) {
-  if (a == lit_false()) return b;
-  if (b == lit_false()) return a;
-  if (a == lit_true()) return b.negated();
-  if (b == lit_true()) return a.negated();
-  if (a == b) return lit_false();
-  if (a == b.negated()) return lit_true();
-  const Lit o = fresh();
-  solver_.add_ternary(o.negated(), a, b);
-  solver_.add_ternary(o.negated(), a.negated(), b.negated());
-  solver_.add_ternary(o, a.negated(), b);
-  solver_.add_ternary(o, a, b.negated());
-  return o;
-}
-
-Lit Builder::mux(Lit sel, Lit then_lit, Lit else_lit) {
-  if (sel == lit_true()) return then_lit;
-  if (sel == lit_false()) return else_lit;
-  if (then_lit == else_lit) return then_lit;
-  return lor(land(sel, then_lit), land(sel.negated(), else_lit));
 }
 
 BitVec Builder::zero_extend(const BitVec& a, std::size_t width) {
   speccc_check(width >= a.width(), "zero_extend cannot shrink");
   BitVec out = a;
-  while (out.width() < width) out.bits.push_back(lit_false());
+  while (out.width() < width) out.bits.push_back(bit_false());
   return out;
 }
 
@@ -85,10 +62,10 @@ BitVec Builder::add(const BitVec& a, const BitVec& b) {
   const BitVec y = zero_extend(b, w);
   BitVec out;
   out.bits.reserve(w + 1);
-  Lit carry = lit_false();
+  Bit carry = bit_false();
   for (std::size_t i = 0; i < w; ++i) {
-    const Lit s = lxor(lxor(x.bits[i], y.bits[i]), carry);
-    const Lit c = lor(land(x.bits[i], y.bits[i]),
+    const Bit s = lxor(lxor(x.bits[i], y.bits[i]), carry);
+    const Bit c = lor(land(x.bits[i], y.bits[i]),
                       land(carry, lxor(x.bits[i], y.bits[i])));
     out.bits.push_back(s);
     carry = c;
@@ -107,13 +84,13 @@ BitVec Builder::mul(const BitVec& a, const BitVec& b) {
       partial.bits[i + j] = land(a.bits[j], b.bits[i]);
     }
     BitVec sum = add(acc, partial);
-    sum.bits.resize(w, lit_false());  // drop the (provably zero) carry
+    sum.bits.resize(w, bit_false());  // drop the (provably zero) carry
     acc = std::move(sum);
   }
   return acc;
 }
 
-BitVec Builder::select(Lit sel, const BitVec& a, const BitVec& b) {
+BitVec Builder::select(Bit sel, const BitVec& a, const BitVec& b) {
   const std::size_t w = std::max(a.width(), b.width());
   const BitVec x = zero_extend(a, w);
   const BitVec y = zero_extend(b, w);
@@ -125,76 +102,105 @@ BitVec Builder::select(Lit sel, const BitVec& a, const BitVec& b) {
   return out;
 }
 
-Lit Builder::eq(const BitVec& a, const BitVec& b) {
+Bit Builder::eq(const BitVec& a, const BitVec& b) {
   const std::size_t w = std::max(a.width(), b.width());
   const BitVec x = zero_extend(a, w);
   const BitVec y = zero_extend(b, w);
-  Lit acc = lit_true();
+  Bit acc = bit_true();
   for (std::size_t i = 0; i < w; ++i) {
     acc = land(acc, lxor(x.bits[i], y.bits[i]).negated());
   }
   return acc;
 }
 
-Lit Builder::ult(const BitVec& a, const BitVec& b) {
+Bit Builder::ult(const BitVec& a, const BitVec& b) {
   const std::size_t w = std::max(a.width(), b.width());
   const BitVec x = zero_extend(a, w);
   const BitVec y = zero_extend(b, w);
   // Ripple from LSB: lt_i = (!x_i && y_i) || (x_i == y_i && lt_{i-1}).
-  Lit lt = lit_false();
+  Bit lt = bit_false();
   for (std::size_t i = 0; i < w; ++i) {
-    const Lit bit_lt = land(x.bits[i].negated(), y.bits[i]);
-    const Lit bit_eq = lxor(x.bits[i], y.bits[i]).negated();
+    const Bit bit_lt = land(x.bits[i].negated(), y.bits[i]);
+    const Bit bit_eq = lxor(x.bits[i], y.bits[i]).negated();
     lt = lor(bit_lt, land(bit_eq, lt));
   }
   return lt;
 }
 
-Lit Builder::ule(const BitVec& a, const BitVec& b) { return ult(b, a).negated(); }
-
-Lit Builder::ule_const(const BitVec& a, std::uint64_t bound) {
+Bit Builder::ule_const(const BitVec& a, std::uint64_t bound) {
   return ule(a, constant(bound, a.width() > 64 ? a.width() : 64));
 }
 
+void Builder::flush() {
+  for (const Bit b : pending_) {
+    sink_.add_clause({mapper_.literal(b)});
+  }
+  pending_.clear();
+}
+
+sat::Result Builder::solve(const std::vector<Bit>& assumptions) {
+  flush();
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const Bit b : assumptions) lits.push_back(mapper_.literal(b));
+  return solver_.solve(lits);
+}
+
+std::vector<bool> Builder::model_inputs() const {
+  std::vector<bool> inputs(input_lits_.size(), false);
+  for (std::size_t i = 0; i < input_lits_.size(); ++i) {
+    const Lit l = input_lits_[i];
+    inputs[i] = solver_.value(l.var()) == l.positive();
+  }
+  return inputs;
+}
+
+bool Builder::value(Bit b) const {
+  return aig_.evaluate(b, model_inputs());
+}
+
 std::uint64_t Builder::model_value(const BitVec& v) const {
-  std::uint64_t out = 0;
   speccc_check(v.width() <= 64, "model_value limited to 64 bits");
+  const std::vector<bool> values = aig_.evaluate_all(model_inputs());
+  std::uint64_t out = 0;
   for (std::size_t i = 0; i < v.width(); ++i) {
-    const Lit l = v.bits[i];
-    const bool bit = solver_.value(l.var()) == l.positive();
-    if (bit) out |= (1ULL << i);
+    const Bit b = v.bits[i];
+    if (values[b.node()] != b.complemented()) out |= (1ULL << i);
   }
   return out;
 }
 
 std::optional<std::uint64_t> Builder::minimize(const BitVec& objective) {
-  if (solver_.solve() == sat::Result::kUnsat) return std::nullopt;
+  if (solve() == sat::Result::kUnsat) return std::nullopt;
   std::uint64_t best = model_value(objective);
   // Binary search on the objective bound. Each probe uses a fresh selector
-  // literal implying objective <= mid, passed as an assumption so failed
-  // probes do not pollute the clause set permanently.
+  // bit implying objective <= mid, passed as an assumption so failed
+  // probes do not pollute the clause set permanently. Only the fresh
+  // comparator cone gets mapped per probe; everything else is already
+  // flushed.
   std::uint64_t lo = 0;
   std::uint64_t hi = best;
   while (lo < hi) {
     const std::uint64_t mid = lo + (hi - lo) / 2;
-    const Lit sel = fresh();
+    const Bit sel = fresh();
     // sel -> (objective <= mid)
-    const Lit le = ule_const(objective, mid);
-    solver_.add_binary(sel.negated(), le);
-    if (solver_.solve({sel}) == sat::Result::kSat) {
+    const Lit le = mapper_.literal(ule_const(objective, mid));
+    sink_.add_clause({mapper_.literal(sel.negated()), le});
+    if (solve({sel}) == sat::Result::kSat) {
       best = model_value(objective);
       speccc_check(best <= mid, "model exceeds assumed bound");
       hi = best;
     } else {
-      solver_.add_unit(sel.negated());  // retire the selector
+      sink_.add_clause({mapper_.literal(sel.negated())});  // retire selector
       lo = mid + 1;
     }
   }
   // Re-establish a model attaining the minimum (the last SAT call may have
   // been the failed probe).
-  const Lit final_sel = fresh();
-  solver_.add_binary(final_sel.negated(), ule_const(objective, best));
-  const auto r = solver_.solve({final_sel});
+  const Bit final_sel = fresh();
+  sink_.add_clause({mapper_.literal(final_sel.negated()),
+                    mapper_.literal(ule_const(objective, best))});
+  const auto r = solve({final_sel});
   speccc_check(r == sat::Result::kSat, "minimum no longer attainable");
   return best;
 }

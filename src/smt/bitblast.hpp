@@ -1,43 +1,72 @@
-// Bounded-integer arithmetic bit-blasted to SAT.
+// Bounded-integer arithmetic bit-blasted to SAT through the AIG layer.
 //
 // This layer plays the role of Yices 2 in the paper (Section IV-E): the
 // nonlinear constraint system (1)-(2) for time abstraction is encoded over
 // unsigned bit-vectors (ripple-carry adders, shift-and-add multipliers,
-// Tseitin-encoded comparators) and solved through the CDCL solver, with the
-// optimization objective minimized by a descending bound search under
-// assumptions.
+// comparators) and solved through the CDCL solver, with the optimization
+// objective minimized by a descending bound search under assumptions.
+//
+// Construction is lazy: gates land in a structural-hashed And-Inverter
+// Graph (src/aig) instead of becoming clauses immediately, so sharing and
+// constant folding happen across the whole circuit. CNF is emitted only at
+// solve()/require-flush time, only for the transitive fan-in of asserted
+// or queried bits, and through the cut-based mapper by default (per-gate
+// Tseitin stays available as BuilderOptions::Encoder-selectable lane).
+// The descending-bound minimize() loop therefore re-maps only each fresh
+// comparator cone; everything already flushed keeps its variables and the
+// solver keeps everything it learned (PR 6's incremental-assumption reuse).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "aig/aig.hpp"
+#include "aig/cnf.hpp"
 #include "sat/solver.hpp"
 
 namespace speccc::smt {
 
-/// Unsigned bit-vector; bits[0] is the least significant bit. Bits are SAT
-/// literals, so constants and variables mix freely.
+/// A circuit bit: an AIG edge. Constants and gate outputs mix freely;
+/// nothing touches the SAT solver until a flush.
+using Bit = aig::Edge;
+
+/// Unsigned bit-vector; bits[0] is the least significant bit.
 struct BitVec {
-  std::vector<sat::Lit> bits;
+  std::vector<Bit> bits;
 
   [[nodiscard]] std::size_t width() const { return bits.size(); }
 };
 
-/// Circuit builder over a SAT solver. All methods are pure circuit
-/// constructions; constraints become clauses immediately.
+struct BuilderOptions {
+  aig::CnfOptions cnf;
+  /// Observes every clause and variable the Builder sends to the solver
+  /// (mapper output plus the Builder's own assertion units). Used by
+  /// tools/speccc_cnf to dump DIMACS; null for normal solving.
+  aig::ClauseSink* tee = nullptr;
+};
+
+/// Circuit builder over an AIG with deferred CNF flushing to a SAT solver.
 class Builder {
  public:
-  explicit Builder(sat::Solver& solver);
+  explicit Builder(sat::Solver& solver, BuilderOptions options = {});
 
   sat::Solver& solver() { return solver_; }
+  [[nodiscard]] const aig::Aig& aig() const { return aig_; }
+  [[nodiscard]] const aig::CnfStats& cnf_stats() const {
+    return mapper_.stats();
+  }
 
-  /// Literal constants (a single variable pinned at level 0).
-  [[nodiscard]] sat::Lit lit_true() const { return true_; }
-  [[nodiscard]] sat::Lit lit_false() const { return true_.negated(); }
+  [[nodiscard]] static constexpr Bit bit_true() {
+    return aig::Aig::edge_true();
+  }
+  [[nodiscard]] static constexpr Bit bit_false() {
+    return aig::Aig::edge_false();
+  }
 
-  /// Fresh boolean variable.
-  [[nodiscard]] sat::Lit fresh();
+  /// Fresh boolean variable (an AIG primary input; its solver variable is
+  /// allocated eagerly so models always assign it).
+  [[nodiscard]] Bit fresh();
 
   /// Fresh unsigned bit-vector variable of the given width.
   [[nodiscard]] BitVec var(std::size_t width);
@@ -45,11 +74,13 @@ class Builder {
   /// Constant bit-vector. The width must be large enough for the value.
   [[nodiscard]] BitVec constant(std::uint64_t value, std::size_t width);
 
-  // ---- Gates (Tseitin encoded) ----------------------------------------------
-  [[nodiscard]] sat::Lit land(sat::Lit a, sat::Lit b);
-  [[nodiscard]] sat::Lit lor(sat::Lit a, sat::Lit b);
-  [[nodiscard]] sat::Lit lxor(sat::Lit a, sat::Lit b);
-  [[nodiscard]] sat::Lit mux(sat::Lit sel, sat::Lit then_lit, sat::Lit else_lit);
+  // ---- Gates (structural-hashed AIG nodes) ----------------------------------
+  [[nodiscard]] Bit land(Bit a, Bit b) { return aig_.mk_and(a, b); }
+  [[nodiscard]] Bit lor(Bit a, Bit b) { return aig_.mk_or(a, b); }
+  [[nodiscard]] Bit lxor(Bit a, Bit b) { return aig_.mk_xor(a, b); }
+  [[nodiscard]] Bit mux(Bit sel, Bit then_bit, Bit else_bit) {
+    return aig_.mk_mux(sel, then_bit, else_bit);
+  }
 
   // ---- Arithmetic -------------------------------------------------------------
   /// Sum with one extra output bit (never overflows).
@@ -59,19 +90,38 @@ class Builder {
   /// a zero-extended to the given width (>= a.width()).
   [[nodiscard]] BitVec zero_extend(const BitVec& a, std::size_t width);
   /// Conditional: sel ? a : b (widths equalized by zero extension).
-  [[nodiscard]] BitVec select(sat::Lit sel, const BitVec& a, const BitVec& b);
+  [[nodiscard]] BitVec select(Bit sel, const BitVec& a, const BitVec& b);
 
   // ---- Comparisons -------------------------------------------------------------
-  [[nodiscard]] sat::Lit eq(const BitVec& a, const BitVec& b);
-  [[nodiscard]] sat::Lit ult(const BitVec& a, const BitVec& b);
-  [[nodiscard]] sat::Lit ule(const BitVec& a, const BitVec& b);
-  [[nodiscard]] sat::Lit ule_const(const BitVec& a, std::uint64_t bound);
+  [[nodiscard]] Bit eq(const BitVec& a, const BitVec& b);
+  [[nodiscard]] Bit ult(const BitVec& a, const BitVec& b);
+  [[nodiscard]] Bit ule(const BitVec& a, const BitVec& b) {
+    return ult(b, a).negated();
+  }
+  [[nodiscard]] Bit ule_const(const BitVec& a, std::uint64_t bound);
 
-  // ---- Assertions ----------------------------------------------------------------
-  void require(sat::Lit l) { solver_.add_unit(l); }
+  // ---- Assertions ---------------------------------------------------------------
+  /// Queue an assertion; its cone is mapped to CNF at the next flush.
+  void require(Bit b) { pending_.push_back(b); }
   void require_eq(const BitVec& a, const BitVec& b) { require(eq(a, b)); }
 
-  // ---- Solving --------------------------------------------------------------------
+  // ---- Solving ------------------------------------------------------------------
+  /// Flush queued assertions (mapping their cones to CNF) and solve under
+  /// the given assumption bits.
+  sat::Result solve(const std::vector<Bit>& assumptions = {});
+
+  /// Flush queued assertions without solving (tools/speccc_cnf dumps the
+  /// CNF of a never-solved instance this way).
+  void flush();
+
+  /// The solver literal equivalent to a bit, flushing its cone if needed.
+  sat::Lit literal(Bit b) { return mapper_.literal(b); }
+
+  /// Value of a bit in the current model (call after kSat). Computed by
+  /// replaying the solver's primary-input assignment through the AIG, so
+  /// it is defined for every bit, flushed or not.
+  [[nodiscard]] bool value(Bit b) const;
+
   /// Value of a bit-vector in the current model (call after kSat).
   [[nodiscard]] std::uint64_t model_value(const BitVec& v) const;
 
@@ -82,8 +132,35 @@ class Builder {
   [[nodiscard]] std::optional<std::uint64_t> minimize(const BitVec& objective);
 
  private:
+  /// Forwards mapper output to the solver and mirrors it to the tee.
+  class SolverSink : public aig::ClauseSink {
+   public:
+    SolverSink(sat::Solver& solver, aig::ClauseSink* tee)
+        : solver_(solver), tee_(tee) {}
+    int new_var() override {
+      const int v = solver_.new_var();
+      if (tee_ != nullptr) tee_->new_var();
+      return v;
+    }
+    void add_clause(const sat::Clause& clause) override {
+      solver_.add_clause(clause);
+      if (tee_ != nullptr) tee_->add_clause(clause);
+    }
+
+   private:
+    sat::Solver& solver_;
+    aig::ClauseSink* tee_;
+  };
+
+  [[nodiscard]] std::vector<bool> model_inputs() const;
+
   sat::Solver& solver_;
-  sat::Lit true_;
+  SolverSink sink_;
+  aig::Aig aig_;
+  aig::CnfMapper mapper_;
+  sat::Lit true_;                      // pinned true variable
+  std::vector<sat::Lit> input_lits_;   // PI ordinal -> solver literal
+  std::vector<Bit> pending_;           // queued assertions
 };
 
 }  // namespace speccc::smt

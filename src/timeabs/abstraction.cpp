@@ -190,21 +190,26 @@ std::size_t bit_width(std::uint64_t value) {
   return w;
 }
 
-std::optional<Abstraction> optimize_smt(const Request& request) {
+std::optional<Abstraction> optimize_smt(const Request& request,
+                                        SmtEncoder encoder) {
   const std::size_t n = request.thetas.size();
   const std::uint32_t max_theta =
       *std::max_element(request.thetas.begin(), request.thetas.end());
   const std::size_t w = bit_width(max_theta) + 1;
 
   sat::Solver solver;
-  smt::Builder builder(solver);
+  smt::BuilderOptions builder_options;
+  builder_options.cnf.encoder = encoder == SmtEncoder::kTseitin
+                                    ? aig::CnfOptions::Encoder::kTseitin
+                                    : aig::CnfOptions::Encoder::kCutMap;
+  smt::Builder builder(solver, builder_options);
 
   const smt::BitVec d = builder.var(w);
   builder.require(builder.ule(builder.constant(1, w), d));
 
   std::vector<smt::BitVec> reduced;
   std::vector<smt::BitVec> deltas;
-  std::vector<sat::Lit> early_sel;  // only meaningful for kEither
+  std::vector<smt::Bit> early_sel;  // only meaningful for kEither
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint32_t theta = request.thetas[i];
@@ -214,11 +219,11 @@ std::optional<Abstraction> optimize_smt(const Request& request) {
     builder.require(builder.ult(di, d));  // |Delta| < d
     const smt::BitVec prod = builder.mul(ri, d);
 
-    const sat::Lit early_eq = builder.eq(theta_c, builder.add(prod, di));
-    const sat::Lit late_eq = builder.eq(builder.add(theta_c, di), prod);
+    const smt::Bit early_eq = builder.eq(theta_c, builder.add(prod, di));
+    const smt::Bit late_eq = builder.eq(builder.add(theta_c, di), prod);
 
     const ErrorSign sign = sign_of(request, i);
-    sat::Lit sel = builder.lit_true();
+    smt::Bit sel = smt::Builder::bit_true();
     switch (sign) {
       case ErrorSign::kEarly:
         builder.require(early_eq);
@@ -254,6 +259,16 @@ std::optional<Abstraction> optimize_smt(const Request& request) {
   // Secondary objective.
   const auto min_error = builder.minimize(error_sum);
   speccc_check(min_error.has_value(), "secondary objective must stay feasible");
+  builder.require(
+      builder.eq(error_sum, builder.constant(*min_error, error_sum.width())));
+
+  // Tertiary objective: minimize the divisor itself. The enumeration
+  // backend scans d ascending and keeps the first optimum, so pinning the
+  // smallest optimal d makes the two backends -- and both CNF encoders --
+  // agree on the full abstraction, not just the objective pair (the
+  // Table I byte-identity smoke relies on this).
+  const auto min_d = builder.minimize(d);
+  speccc_check(min_d.has_value(), "tertiary objective must stay feasible");
 
   Abstraction out;
   out.divisor = static_cast<std::uint32_t>(builder.model_value(d));
@@ -267,8 +282,7 @@ std::optional<Abstraction> optimize_smt(const Request& request) {
     const ErrorSign sign = sign_of(request, i);
     bool early = sign != ErrorSign::kLate;
     if (sign == ErrorSign::kEither) {
-      const sat::Lit sel = early_sel[i];
-      early = solver.value(sel.var()) == sel.positive();
+      early = builder.value(early_sel[i]);
     }
     out.errors.push_back(early ? delta : -delta);
   }
@@ -277,10 +291,11 @@ std::optional<Abstraction> optimize_smt(const Request& request) {
 
 }  // namespace
 
-std::optional<Abstraction> optimize(const Request& request, Backend backend) {
+std::optional<Abstraction> optimize(const Request& request, Backend backend,
+                                    SmtEncoder encoder) {
   validate(request);
   return backend == Backend::kEnumeration ? optimize_enumeration(request)
-                                          : optimize_smt(request);
+                                          : optimize_smt(request, encoder);
 }
 
 Abstraction optimize_exact(const Request& request) {

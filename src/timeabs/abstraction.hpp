@@ -37,6 +37,11 @@ enum class ErrorSign {
 
 enum class Backend { kEnumeration, kSmt };
 
+/// CNF encoder for the kSmt backend: cut-based AIG mapping (the default)
+/// or the seed per-gate Tseitin lane. Both must produce identical
+/// abstractions -- the check.sh smoke diffs Table I across encoders.
+enum class SmtEncoder { kCutMap, kTseitin };
+
 struct Request {
   /// Distinct Next-chain lengths, all >= 1.
   std::vector<std::uint32_t> thetas;
@@ -63,8 +68,9 @@ struct Abstraction {
 /// error budget (this cannot happen: d = 1 always yields zero error, so a
 /// nullopt signals an invalid request such as an empty theta list handled by
 /// throwing InvalidInputError instead).
-[[nodiscard]] std::optional<Abstraction> optimize(const Request& request,
-                                                  Backend backend);
+[[nodiscard]] std::optional<Abstraction> optimize(
+    const Request& request, Backend backend,
+    SmtEncoder encoder = SmtEncoder::kCutMap);
 
 /// Convenience: optimal abstraction with the enumeration backend.
 [[nodiscard]] Abstraction optimize_exact(const Request& request);

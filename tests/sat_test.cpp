@@ -363,6 +363,134 @@ TEST(Sat, LearnedClauseReductionPlateausLongIncrementalRuns) {
   ASSERT_EQ(s.solve({gates[0].negated()}), sat::Result::kSat);
 }
 
+TEST(Sat, ArenaCompactionKeepsWatchersAndReasonsIntact) {
+  // reduce_learned() compacts the flat clause arena in place, remapping
+  // watcher refs and trail reasons. A tiny cap forces many compactions
+  // while solving continues incrementally; any stale ref would corrupt
+  // propagation and show up as a wrong verdict or a bogus model. New
+  // clauses added *between* compactions must interleave correctly with
+  // relocated ones.
+  constexpr std::size_t kCap = 50;
+  sat::Solver s;
+  s.set_learned_cap(kCap);
+  std::vector<sat::Clause> added;
+  std::vector<Lit> gates;
+  for (int block = 0; block < 4; ++block) {
+    const Lit gate(s.new_var(), true);
+    gates.push_back(gate);
+    add_gated_pigeonhole(s, gate, 5, 4, added);
+    // Query every gate so far after each growth step: the arena holds a
+    // mix of pre- and post-compaction clauses at every round.
+    for (const Lit g : gates) {
+      ASSERT_EQ(s.solve({g}), sat::Result::kUnsat);
+    }
+  }
+  EXPECT_GT(s.stats().reductions, 1u);
+  // Satisfiable query after heavy relocation: the model must satisfy the
+  // entire original instance, proving no watcher points at garbage.
+  ASSERT_EQ(s.solve({gates[0].negated(), gates[1].negated(),
+                     gates[2].negated(), gates[3].negated()}),
+            sat::Result::kSat);
+  EXPECT_TRUE(model_satisfies(s, added));
+}
+
+TEST(Sat, BinaryClausesPropagateLikeArenaClauses) {
+  // Binary clauses never enter the arena: each lives in its two watcher
+  // lists and its reason is a tagged literal code. Cross-check random
+  // 2-CNF instances (pure binary propagation) against brute force, the
+  // same contract SatRandomTest pins for arena clauses.
+  for (int instance = 0; instance < 30; ++instance) {
+    speccc::util::Rng rng(static_cast<std::uint64_t>(instance) * 104729 + 7);
+    constexpr int kVars = 12;
+    const int clauses = 12 + instance;
+    std::vector<sat::Clause> formula;
+    for (int i = 0; i < clauses; ++i) {
+      formula.push_back({Lit(static_cast<int>(rng.below(kVars)), rng.chance(1, 2)),
+                         Lit(static_cast<int>(rng.below(kVars)), rng.chance(1, 2))});
+    }
+    bool brute_sat = false;
+    for (int m = 0; m < (1 << kVars) && !brute_sat; ++m) {
+      bool all = true;
+      for (const auto& c : formula) {
+        bool some = false;
+        for (Lit l : c) {
+          if ((((m >> l.var()) & 1) != 0) == l.positive()) {
+            some = true;
+            break;
+          }
+        }
+        if (!some) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    sat::Solver s;
+    for (int v = 0; v < kVars; ++v) (void)s.new_var();
+    for (const auto& c : formula) s.add_clause(c);
+    ASSERT_EQ(s.solve() == sat::Result::kSat, brute_sat)
+        << "2-CNF instance " << instance;
+    if (brute_sat) {
+      EXPECT_TRUE(model_satisfies(s, formula)) << "2-CNF instance " << instance;
+    }
+  }
+}
+
+TEST(Sat, BinaryReasonsReachAssumptionCores) {
+  // analyze_final must walk binary (tagged-literal) reasons just like
+  // arena reasons: a conflict reached purely through a binary implication
+  // chain still blames exactly the assumptions it rests on.
+  sat::Solver s;
+  const int a = s.new_var();
+  const int b = s.new_var();
+  const int c = s.new_var();
+  const int d = s.new_var();
+  const int spare = s.new_var();
+  s.add_binary(Lit(a, false), Lit(b, true));  // a -> b
+  s.add_binary(Lit(b, false), Lit(c, true));  // b -> c
+  s.add_binary(Lit(c, false), Lit(d, true));  // c -> d
+  ASSERT_EQ(s.solve({Lit(spare, true), Lit(a, true), Lit(d, false)}),
+            sat::Result::kUnsat);
+  EXPECT_EQ(s.core(), (std::vector<Lit>{Lit(a, true), Lit(d, false)}));
+  // Copy before re-solving: solve() rebuilds core_ in place.
+  const std::vector<Lit> core = s.core();
+  EXPECT_EQ(s.solve(core), sat::Result::kUnsat);
+}
+
+TEST(Sat, AssumptionCoresSurviveArenaRelocation) {
+  // Core extraction walks trail reasons into the arena; after compactions
+  // those refs point at relocated clauses. The core contract (subset, in
+  // order, unsat when re-asserted) must hold on a solver whose arena has
+  // been reshuffled multiple times.
+  constexpr std::size_t kCap = 60;
+  sat::Solver s;
+  s.set_learned_cap(kCap);
+  std::vector<sat::Clause> added;
+  std::vector<Lit> gates;
+  for (int block = 0; block < 6; ++block) {
+    const Lit gate(s.new_var(), true);
+    gates.push_back(gate);
+    add_gated_pigeonhole(s, gate, 5, 4, added);
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t g = 0; g < gates.size(); ++g) {
+      // Pad the query with innocent negated gates so the core has to
+      // discriminate, not just echo the assumption vector.
+      std::vector<Lit> assumptions;
+      for (std::size_t other = 0; other < gates.size(); ++other) {
+        if (other != g) assumptions.push_back(gates[other].negated());
+      }
+      assumptions.push_back(gates[g]);
+      ASSERT_EQ(s.solve(assumptions), sat::Result::kUnsat);
+      EXPECT_EQ(s.core(), (std::vector<Lit>{gates[g]}));
+      const std::vector<Lit> core = s.core();  // copy: solve() rebuilds core_
+      EXPECT_EQ(s.solve(core), sat::Result::kUnsat);
+    }
+  }
+  EXPECT_GT(s.stats().reductions, 0u);
+}
+
 // Brute-force cross-check on pseudo-random 3-CNF instances near the phase
 // transition.
 class SatRandomTest : public ::testing::TestWithParam<int> {};
